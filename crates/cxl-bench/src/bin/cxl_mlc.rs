@@ -1,0 +1,119 @@
+//! `cxl_mlc` — an mlc/memo-style latency & bandwidth matrix for the
+//! simulated platform: every (initiator, target, operation) pair a user
+//! would probe on real CXL hardware, in one table.
+//!
+//! Run with: `cargo run --release -p cxl-bench --bin cxl_mlc`
+
+use cxl_proto::request::RequestType;
+use cxl_type2::addr::{device_line, host_line};
+use cxl_type2::device::CxlDevice;
+use cxl_type2::lsu::{BurstTarget, Lsu};
+use host::numa::NumaSystem;
+use host::socket::Socket;
+use sim_core::stats::Samples;
+use sim_core::time::Time;
+
+fn median<F: FnMut(u64, Time) -> Time>(reps: usize, mut f: F) -> f64 {
+    let mut s = Samples::new();
+    let mut t = Time::ZERO;
+    for i in 0..reps {
+        let done = f(i as u64, t);
+        s.record(done.duration_since(t).as_nanos_f64());
+        t = done;
+    }
+    s.median()
+}
+
+fn main() {
+    let reps = 200;
+    println!("cxl_mlc — simulated latency matrix (median of {reps} cold accesses, ns)\n");
+    println!("{:<44} {:>10}", "path", "latency");
+
+    // Host core -> local DRAM.
+    let mut s = Socket::xeon_6538y();
+    let lat = median(reps, |i, t| s.load(host_line(1000 + i * 7), t).completion);
+    println!("{:<44} {:>10.1}", "host ld -> local DRAM", lat);
+
+    // Host core -> local LLC.
+    let mut s = Socket::xeon_6538y();
+    let lat = median(reps, |i, t| {
+        let a = host_line(5000 + i);
+        s.load(a, t);
+        let t1 = s.cldemote(a, t);
+        s.load(a, t1).completion
+    });
+    println!("{:<44} {:>10.1}", "host ld -> local LLC (CLDEMOTE'd)", lat);
+
+    // Host core -> remote socket DRAM over UPI (the emulated-CXL path).
+    let mut numa = NumaSystem::xeon_dual_socket();
+    let lat = median(reps, |i, t| numa.remote_load(host_line(9000 + i * 7), t).completion);
+    println!("{:<44} {:>10.1}", "host ld -> remote DRAM (UPI / emulated CXL)", lat);
+
+    // Host core -> CXL Type-2 device memory.
+    let mut s = Socket::xeon_6538y();
+    let mut t2 = CxlDevice::agilex7();
+    let lat = median(reps, |i, t| t2.h2d_load(device_line(100 + i), t, &mut s).completion);
+    println!("{:<44} {:>10.1}", "host ld -> CXL T2 device DRAM (H2D)", lat);
+
+    // Host core -> CXL Type-3 device memory.
+    let mut s = Socket::xeon_6538y();
+    let mut t3 = CxlDevice::agilex7_type3();
+    let lat = median(reps, |i, t| t3.h2d_load(device_line(100 + i), t, &mut s).completion);
+    println!("{:<44} {:>10.1}", "host ld -> CXL T3 device DRAM (H2D)", lat);
+
+    // Device ACC -> host DRAM / LLC (D2H).
+    let mut s = Socket::xeon_6538y();
+    let mut dev = CxlDevice::agilex7();
+    let lsu = Lsu::new();
+    let lat = median(reps, |i, t| {
+        lsu.single(&mut dev, &mut s, RequestType::NC_RD, BurstTarget::HostMemory, host_line(20_000 + i * 7), t)
+    });
+    println!("{:<44} {:>10.1}", "device NC-rd -> host DRAM (D2H)", lat);
+
+    let mut s = Socket::xeon_6538y();
+    let mut dev = CxlDevice::agilex7();
+    let lat = median(reps, |i, t| {
+        let a = host_line(30_000 + i);
+        s.load(a, t);
+        let t1 = s.cldemote(a, t);
+        lsu.single(&mut dev, &mut s, RequestType::CS_RD, BurstTarget::HostMemory, a, t1)
+    });
+    println!("{:<44} {:>10.1}", "device CS-rd -> host LLC (D2H)", lat);
+
+    // Device ACC -> own memory, both bias modes (D2D).
+    let mut s = Socket::xeon_6538y();
+    let mut dev = CxlDevice::agilex7();
+    let lat = median(reps, |i, t| {
+        lsu.single(&mut dev, &mut s, RequestType::CS_RD, BurstTarget::DeviceMemory, device_line(40_000 + i), t)
+    });
+    println!("{:<44} {:>10.1}", "device CS-rd -> device DRAM (host-bias)", lat);
+
+    let mut s = Socket::xeon_6538y();
+    let mut dev = CxlDevice::agilex7();
+    let t0 = dev.enter_device_bias(device_line(50_000), 4096, Time::ZERO, &mut s);
+    let mut s2 = Samples::new();
+    let mut t = t0;
+    for i in 0..reps as u64 {
+        let done = lsu.single(&mut dev, &mut s, RequestType::CS_RD, BurstTarget::DeviceMemory, device_line(50_000 + i), t);
+        s2.record(done.duration_since(t).as_nanos_f64());
+        t = done;
+    }
+    println!("{:<44} {:>10.1}", "device CS-rd -> device DRAM (device-bias)", s2.median());
+
+    println!("\nSequential-vs-random check (the paper's methodology note):");
+    for (name, stride) in [("sequential", 1u64), ("random-ish", 97u64)] {
+        let mut s = Socket::xeon_6538y();
+        let mut dev = CxlDevice::agilex7();
+        let lat = median(reps, |i, t| {
+            lsu.single(
+                &mut dev,
+                &mut s,
+                RequestType::NC_RD,
+                BurstTarget::HostMemory,
+                host_line(60_000 + i * stride),
+                t,
+            )
+        });
+        println!("  D2H NC-rd {name:<12} {lat:>8.1} ns");
+    }
+}

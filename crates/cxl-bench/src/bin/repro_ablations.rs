@@ -1,0 +1,5 @@
+//! Runs the design-choice ablation sweeps.
+
+fn main() {
+    cxl_bench::ablations::print_ablations();
+}

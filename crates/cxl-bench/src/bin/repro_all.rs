@@ -1,0 +1,34 @@
+//! Runs every experiment in paper order (the one-shot artifact run).
+//! Figures use a reduced repetition count; Fig. 8 uses the quick config.
+
+use cxl_bench::fig6::Direction;
+use cxl_bench::fig8run::Feature;
+
+fn main() {
+    cxl_bench::tables::print_table1();
+    println!();
+    cxl_bench::tables::print_table2();
+    println!();
+    cxl_bench::tables::print_table3(&cxl_bench::tables::run_table3());
+    println!();
+    cxl_bench::fig3::print_fig3(&cxl_bench::fig3::run_fig3(200, 42));
+    println!();
+    cxl_bench::fig4::print_fig4(&cxl_bench::fig4::run_fig4(200, 42));
+    println!();
+    cxl_bench::fig5::print_fig5(&cxl_bench::fig5::run_fig5(200, 42));
+    println!();
+    cxl_bench::fig6::print_fig6(&cxl_bench::fig6::run_fig6(Direction::H2d, true), "H2D writes");
+    println!();
+    cxl_bench::fig6::print_fig6(&cxl_bench::fig6::run_fig6(Direction::D2h, false), "D2H reads");
+    println!();
+    cxl_bench::tables::print_table4(&cxl_bench::tables::run_table4(42));
+    println!();
+    let cfg = kvs::fig8::Fig8Config::smoke();
+    let zswap = cxl_bench::fig8run::run_fig8(&cfg, Feature::Zswap);
+    cxl_bench::fig8run::print_fig8(&zswap, Feature::Zswap);
+    println!();
+    let ksm = cxl_bench::fig8run::run_fig8(&cfg, Feature::Ksm);
+    cxl_bench::fig8run::print_fig8(&ksm, Feature::Ksm);
+    println!();
+    cxl_bench::ablations::print_ablations();
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 3 (D2H latency/bandwidth, true vs emulated).
+
+fn main() {
+    let reps = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(1000);
+    let rows = cxl_bench::fig3::run_fig3(reps, 42);
+    cxl_bench::fig3::print_fig3(&rows);
+}

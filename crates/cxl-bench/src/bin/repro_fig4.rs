@@ -1,0 +1,11 @@
+//! Regenerates Fig. 4 (D2D latency/bandwidth, host- vs device-bias).
+
+fn main() {
+    let reps = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(1000);
+    let rows = cxl_bench::fig4::run_fig4(reps, 42);
+    cxl_bench::fig4::print_fig4(&rows);
+}

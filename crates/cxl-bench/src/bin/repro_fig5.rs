@@ -1,0 +1,11 @@
+//! Regenerates Fig. 5 (H2D latency/bandwidth, T2 vs T3, DMC states, NC-P).
+
+fn main() {
+    let reps = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(1000);
+    let rows = cxl_bench::fig5::run_fig5(reps, 42);
+    cxl_bench::fig5::print_fig5(&rows);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 6 (transfer efficiency: CXL vs PCIe, both directions).
+
+use cxl_bench::fig6::{print_fig6, run_fig6, Direction};
+
+fn main() {
+    print_fig6(&run_fig6(Direction::H2d, true), "H2D writes");
+    println!();
+    print_fig6(&run_fig6(Direction::H2d, false), "H2D reads");
+    println!();
+    print_fig6(&run_fig6(Direction::D2h, false), "D2H reads");
+    println!();
+    print_fig6(&run_fig6(Direction::D2h, true), "D2H writes");
+}

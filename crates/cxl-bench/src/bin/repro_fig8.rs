@@ -1,0 +1,21 @@
+//! Regenerates Fig. 8 (Redis/YCSB p99 under zswap and ksm, all backends).
+//!
+//! Pass `--quick` for the reduced configuration; the default runs a
+//! 400 ms virtual experiment per cell and takes a few minutes.
+
+use cxl_bench::fig8run::{print_fig8, run_fig8, Feature};
+use kvs::fig8::Fig8Config;
+use sim_core::time::Duration;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = if quick { Fig8Config::smoke() } else { Fig8Config::default() };
+    if !quick {
+        cfg.duration = Duration::from_millis(400);
+    }
+    let zswap = run_fig8(&cfg, Feature::Zswap);
+    print_fig8(&zswap, Feature::Zswap);
+    println!();
+    let ksm = run_fig8(&cfg, Feature::Ksm);
+    print_fig8(&ksm, Feature::Ksm);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table IV (zswap compression offload latency breakdown).
+
+fn main() {
+    let rows = cxl_bench::tables::run_table4(42);
+    cxl_bench::tables::print_table4(&rows);
+}

@@ -1,0 +1,23 @@
+//! Regenerates Tables I–III (pass `table1`, `table2`, `table3`, or no
+//! argument for all).
+
+use cxl_bench::tables;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+    if !which.is_empty() && !matches!(which.as_str(), "table1" | "table2" | "table3") {
+        eprintln!("usage: repro_tables [table1|table2|table3]");
+        std::process::exit(2);
+    }
+    if which.is_empty() || which == "table1" {
+        tables::print_table1();
+        println!();
+    }
+    if which.is_empty() || which == "table2" {
+        tables::print_table2();
+        println!();
+    }
+    if which.is_empty() || which == "table3" {
+        tables::print_table3(&tables::run_table3());
+    }
+}

@@ -1,0 +1,252 @@
+//! Fig. 3: latency and bandwidth of true vs emulated D2H accesses.
+//!
+//! Methodology (§V): 16 consecutive 64 B requests to random addresses,
+//! each experiment repeated ≥1000 times back-to-back, median reported with
+//! standard-deviation error bars. LLC-hit cases are staged with CLDEMOTE
+//! (line resides only in the LLC, Shared); the emulated baseline is a
+//! remote-socket core crossing UPI (footnote 1).
+
+use cxl_proto::request::RequestType;
+use cxl_type2::addr::host_line;
+use cxl_type2::device::CxlDevice;
+use cxl_type2::lsu::{BurstTarget, Lsu};
+use host::numa::NumaSystem;
+use host::socket::Socket;
+use sim_core::rng::SimRng;
+use sim_core::stats::{bandwidth_gbps, Samples};
+use sim_core::time::Time;
+
+/// One bar-pair of Fig. 3.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Request type label ("NC-rd", ...).
+    pub request: String,
+    /// The emulated host instruction it corresponds to.
+    pub emulated_op: &'static str,
+    /// True for the LLC-hit case ("LLC-1").
+    pub llc_hit: bool,
+    /// Median single-access latency over CXL, ns.
+    pub cxl_latency_ns: f64,
+    /// Standard deviation of the CXL latency, ns.
+    pub cxl_latency_std: f64,
+    /// Median single-access latency emulated over UPI, ns.
+    pub emu_latency_ns: f64,
+    /// Standard deviation of the emulated latency, ns.
+    pub emu_latency_std: f64,
+    /// Median 16-access burst bandwidth over CXL, GB/s.
+    pub cxl_bw_gbps: f64,
+    /// Median 16-access burst bandwidth emulated, GB/s.
+    pub emu_bw_gbps: f64,
+}
+
+const BURST: usize = 16;
+
+/// The four request types Fig. 3 plots, with their emulated counterparts.
+pub fn fig3_requests() -> Vec<(RequestType, &'static str)> {
+    vec![
+        (RequestType::NC_RD, "nt-ld"),
+        (RequestType::CS_RD, "ld"),
+        (RequestType::NC_WR, "nt-st"),
+        (RequestType::CO_WR, "st"),
+    ]
+}
+
+/// The extended set including CO-rd and NC-P, which §V-A says behave like
+/// CS-rd and CO-wr respectively.
+pub fn fig3_requests_extended() -> Vec<(RequestType, &'static str)> {
+    let mut v = fig3_requests();
+    v.push((RequestType::CO_RD, "ld"));
+    v.push((RequestType::NC_P, "st"));
+    v
+}
+
+/// Stages an address region's lines in the home LLC (Shared), per the
+/// methodology: touch, CLDEMOTE, and leave Shared.
+fn stage_llc(host: &mut Socket, addrs: &[mem_subsys::line::LineAddr], t: Time) -> Time {
+    let mut t = t;
+    for &a in addrs {
+        let acc = host.load(a, t);
+        t = host.cldemote(a, acc.completion);
+        host.caches.degrade_to_shared(a);
+    }
+    t
+}
+
+/// Runs the full Fig. 3 sweep.
+pub fn run_fig3(reps: usize, seed: u64) -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    let mut rng = SimRng::seed_from(seed);
+    for (req, emulated_op) in fig3_requests() {
+        for llc_hit in [true, false] {
+            // --- true CXL D2H ---
+            let mut host = Socket::xeon_6538y();
+            let mut dev = CxlDevice::agilex7();
+            let lsu = Lsu::new();
+            let mut lat = Samples::new();
+            let mut bw = Samples::new();
+            let mut t = Time::ZERO;
+            let mut next_addr: u64 = 1 << 20;
+            for _ in 0..reps {
+                // Fresh random-offset region per repetition.
+                let addrs: Vec<_> = (0..BURST)
+                    .map(|_| {
+                        next_addr += 64 + rng.gen_range(64);
+                        host_line(next_addr)
+                    })
+                    .collect();
+                if llc_hit {
+                    t = stage_llc(&mut host, &addrs, t);
+                }
+                dev.flush_device_caches(t, &mut host);
+                // Latency: one isolated access.
+                let single =
+                    lsu.single(&mut dev, &mut host, req, BurstTarget::HostMemory, addrs[0], t);
+                lat.record(single.duration_since(t).as_nanos_f64());
+                t = single;
+                // Re-stage the first line for the burst if needed.
+                if llc_hit {
+                    t = stage_llc(&mut host, &addrs[..1], t);
+                    dev.flush_device_caches(t, &mut host);
+                }
+                // Bandwidth: 16-access pipelined burst.
+                let burst =
+                    lsu.burst(&mut dev, &mut host, req, BurstTarget::HostMemory, &addrs, t);
+                bw.record(burst.bandwidth_gbps(64));
+                t = burst.last_completion;
+            }
+            // --- emulated over UPI ---
+            let mut numa = NumaSystem::xeon_dual_socket();
+            let mut elat = Samples::new();
+            let mut ebw = Samples::new();
+            let mut t = Time::ZERO;
+            let mut next_addr: u64 = 1 << 21;
+            for _ in 0..reps {
+                let addrs: Vec<_> = (0..BURST)
+                    .map(|_| {
+                        next_addr += 64 + rng.gen_range(64);
+                        host_line(next_addr)
+                    })
+                    .collect();
+                if llc_hit {
+                    t = stage_llc(&mut numa.home, &addrs, t);
+                }
+                let single = emulated_access(&mut numa, req, addrs[0], t);
+                elat.record(single.duration_since(t).as_nanos_f64());
+                t = single;
+                let spec = host::burst::BurstSpec::new(
+                    BURST,
+                    numa.home.timing.core_issue_interval,
+                    if req.is_read() {
+                        // UPI occupancy credits bind remote reads.
+                        numa.home.timing.max_outstanding_remote
+                    } else {
+                        numa.home.timing.max_outstanding_stores
+                    },
+                );
+                let burst = host::burst::run_burst(spec, t, |i, at| {
+                    emulated_access(&mut numa, req, addrs[i], at)
+                });
+                ebw.record(bandwidth_gbps(BURST as u64 * 64, burst.elapsed()));
+                t = burst.last_completion;
+            }
+            rows.push(Fig3Row {
+                request: req.to_string(),
+                emulated_op,
+                llc_hit,
+                cxl_latency_ns: lat.median(),
+                cxl_latency_std: lat.std_dev(),
+                emu_latency_ns: elat.median(),
+                emu_latency_std: elat.std_dev(),
+                cxl_bw_gbps: bw.median(),
+                emu_bw_gbps: ebw.median(),
+            });
+        }
+    }
+    rows
+}
+
+fn emulated_access(
+    numa: &mut NumaSystem,
+    req: RequestType,
+    addr: mem_subsys::line::LineAddr,
+    t: Time,
+) -> Time {
+    match req.emulated_host_op() {
+        "nt-ld" => numa.remote_nt_load(addr, t).completion,
+        "ld" => numa.remote_load(addr, t).completion,
+        "nt-st" => numa.remote_nt_store(addr, t).completion,
+        "st" => numa.remote_store(addr, t).completion,
+        other => unreachable!("unknown emulated op {other}"),
+    }
+}
+
+/// Prints the Fig. 3 table.
+pub fn print_fig3(rows: &[Fig3Row]) {
+    println!("Fig. 3 — D2H latency (ns) and bandwidth (GB/s): true CXL vs emulated (UPI)");
+    println!(
+        "{:<8} {:>6} | {:>10} {:>8} | {:>10} {:>8} | {:>8} | {:>9} {:>9}",
+        "req", "LLC", "cxl-lat", "±std", "emu-lat", "±std", "lat-x", "cxl-bw", "emu-bw"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>6} | {:>10.1} {:>8.1} | {:>10.1} {:>8.1} | {:>8.2} | {:>9.2} {:>9.2}",
+            r.request,
+            if r.llc_hit { "LLC-1" } else { "LLC-0" },
+            r.cxl_latency_ns,
+            r.cxl_latency_std,
+            r.emu_latency_ns,
+            r.emu_latency_std,
+            r.cxl_latency_ns / r.emu_latency_ns,
+            r.cxl_bw_gbps,
+            r.emu_bw_gbps,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape_matches_paper() {
+        let rows = run_fig3(40, 7);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            // Insight 1 direction: CXL D2H latency exceeds emulated.
+            assert!(
+                r.cxl_latency_ns > r.emu_latency_ns,
+                "{} LLC-{}: cxl {} <= emu {}",
+                r.request,
+                r.llc_hit,
+                r.cxl_latency_ns,
+                r.emu_latency_ns
+            );
+        }
+        // Reads on LLC miss: CXL bandwidth advantage (76–125% in paper).
+        let read_miss: Vec<&Fig3Row> = rows
+            .iter()
+            .filter(|r| !r.llc_hit && (r.request == "NC-rd" || r.request == "CS-rd"))
+            .collect();
+        for r in read_miss {
+            assert!(
+                r.cxl_bw_gbps > r.emu_bw_gbps,
+                "{}: cxl bw {} <= emu {}",
+                r.request,
+                r.cxl_bw_gbps,
+                r.emu_bw_gbps
+            );
+        }
+        // Writes beat reads in burst bandwidth (write-queue absorption).
+        let nc_wr = rows.iter().find(|r| r.request == "NC-wr" && !r.llc_hit).unwrap();
+        let nc_rd = rows.iter().find(|r| r.request == "NC-rd" && !r.llc_hit).unwrap();
+        assert!(nc_wr.cxl_bw_gbps > nc_rd.cxl_bw_gbps);
+    }
+
+    #[test]
+    fn fig3_deterministic() {
+        let a = run_fig3(10, 3);
+        let b = run_fig3(10, 3);
+        assert_eq!(a[0].cxl_latency_ns, b[0].cxl_latency_ns);
+        assert_eq!(a[3].emu_bw_gbps, b[3].emu_bw_gbps);
+    }
+}

@@ -1,0 +1,108 @@
+//! Fig. 8 regeneration: normalized p99 tables for zswap and ksm across
+//! the four backends and YCSB A–D, plus the §VII host-CPU-cycle numbers.
+
+use kvs::fig8::{run_ksm, run_zswap, BackendKind, Fig8Config};
+use kvs::ycsb::YcsbWorkload;
+
+/// One cell of Fig. 8.
+#[derive(Debug, Clone)]
+pub struct Fig8Cell {
+    /// The YCSB workload.
+    pub workload: YcsbWorkload,
+    /// The backend series.
+    pub backend: BackendKind,
+    /// p99 latency normalized to the no-feature baseline.
+    pub normalized_p99: f64,
+    /// Absolute p99, µs.
+    pub p99_us: f64,
+    /// Feature host-CPU fraction (the §VII cycles analysis).
+    pub host_cpu_fraction: f64,
+}
+
+/// Which kernel feature the experiment exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feature {
+    /// Compressed swap cache.
+    Zswap,
+    /// Samepage merging.
+    Ksm,
+}
+
+/// Runs Fig. 8 for one feature across all workloads and backends.
+pub fn run_fig8(cfg: &Fig8Config, feature: Feature) -> Vec<Fig8Cell> {
+    let mut cells = Vec::new();
+    for workload in YcsbWorkload::ALL {
+        let runner = |kind| match feature {
+            Feature::Zswap => run_zswap(cfg, workload, kind),
+            Feature::Ksm => run_ksm(cfg, workload, kind),
+        };
+        let base = runner(BackendKind::None);
+        let base_p99 = base.p99.as_micros_f64();
+        for backend in BackendKind::ALL {
+            let r = if backend == BackendKind::None { base.clone() } else { runner(backend) };
+            cells.push(Fig8Cell {
+                workload,
+                backend,
+                normalized_p99: r.p99.as_micros_f64() / base_p99,
+                p99_us: r.p99.as_micros_f64(),
+                host_cpu_fraction: r.host_cpu_fraction,
+            });
+        }
+    }
+    cells
+}
+
+/// Prints the normalized-p99 table for one feature.
+pub fn print_fig8(cells: &[Fig8Cell], feature: Feature) {
+    let name = match feature {
+        Feature::Zswap => "zswap",
+        Feature::Ksm => "ksm",
+    };
+    println!("Fig. 8 — p99 latency of Redis + YCSB, normalized to no-{name}");
+    print!("{:<12}", "backend");
+    for w in YcsbWorkload::ALL {
+        print!("{:>10}", w.name());
+    }
+    println!("{:>12}", "cpu-frac");
+    for backend in BackendKind::ALL {
+        print!("{:<12}", format!("{}-{name}", backend.name()));
+        let mut frac = 0.0;
+        for w in YcsbWorkload::ALL {
+            let c = cells
+                .iter()
+                .find(|c| c.workload == w && c.backend == backend)
+                .expect("cell exists");
+            print!("{:>9.2}x", c.normalized_p99);
+            frac = c.host_cpu_fraction.max(frac);
+        }
+        println!("{:>11.1}%", frac * 100.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::Duration;
+
+    #[test]
+    fn fig8_zswap_ordering() {
+        let mut cfg = Fig8Config::smoke();
+        cfg.duration = Duration::from_millis(60);
+        let cells = run_fig8(&cfg, Feature::Zswap);
+        assert_eq!(cells.len(), 20);
+        for w in YcsbWorkload::ALL {
+            let get = |b: BackendKind| {
+                cells
+                    .iter()
+                    .find(|c| c.workload == w && c.backend == b)
+                    .unwrap()
+                    .normalized_p99
+            };
+            assert!((get(BackendKind::None) - 1.0).abs() < 1e-9);
+            let cpu = get(BackendKind::Cpu);
+            let cxl = get(BackendKind::Cxl);
+            assert!(cpu > 2.0, "workload {}: cpu-zswap {cpu}x", w.name());
+            assert!(cxl < cpu, "workload {}: cxl {cxl} < cpu {cpu}", w.name());
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # cxl-bench
+//!
+//! Experiment regeneration for the `cxl-t2-sim` reproduction of
+//! *"Demystifying a CXL Type-2 Device"* (MICRO 2024). Each module runs one
+//! of the paper's tables/figures on the simulator and returns structured
+//! rows; the `repro_*` binaries print them, and the Criterion benches in
+//! `benches/` exercise the same runners.
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Tables I–II | [`tables`] | `repro_tables` |
+//! | Table III | [`tables::run_table3`] | `repro_tables` |
+//! | Fig. 3 (D2H) | [`fig3`] | `repro_fig3` |
+//! | Fig. 4 (D2D bias) | [`fig4`] | `repro_fig4` |
+//! | Fig. 5 (H2D) | [`fig5`] | `repro_fig5` |
+//! | Fig. 6 (CXL vs PCIe) | [`fig6`] | `repro_fig6` |
+//! | Table IV (offload breakdown) | [`tables::run_table4`] | `repro_table4` |
+//! | Fig. 8 (tail latency) | [`fig8run`] | `repro_fig8` |
+//! | Design ablations | [`ablations`] | `repro_ablations` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8run;
+pub mod tables;

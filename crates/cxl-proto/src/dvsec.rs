@@ -1,0 +1,203 @@
+//! CXL device discovery over CXL.io: the PCIe DVSEC for CXL Devices.
+//!
+//! CXL devices advertise their capabilities through a Designated Vendor-
+//! Specific Extended Capability in PCIe configuration space (vendor ID
+//! 0x1E98, DVSEC ID 0). The capability's Capability register carries the
+//! `cache_capable` / `io_capable` / `mem_capable` bits that distinguish
+//! Type-1/2/3 devices, and the HDM range registers advertise device-memory
+//! size. This module implements encode/decode of that structure and the
+//! enumeration step a host performs at boot.
+
+use crate::device_type::DeviceType;
+
+/// The CXL consortium's PCIe vendor ID used in DVSEC headers.
+pub const CXL_VENDOR_ID: u16 = 0x1E98;
+
+/// DVSEC ID 0: PCIe DVSEC for CXL Devices.
+pub const CXL_DEVICE_DVSEC_ID: u16 = 0x0000;
+
+/// The decoded PCIe DVSEC for a CXL device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CxlDvsec {
+    /// CXL.cache protocol supported.
+    pub cache_capable: bool,
+    /// CXL.io protocol supported (always true for a functioning device).
+    pub io_capable: bool,
+    /// CXL.mem protocol supported.
+    pub mem_capable: bool,
+    /// Host-managed device memory (HDM) size in 256 MiB units, as carried
+    /// by the range-size registers.
+    pub hdm_size_256mb: u32,
+    /// HDM count (1 or 2 ranges).
+    pub hdm_count: u8,
+}
+
+impl CxlDvsec {
+    /// The DVSEC a device of `device_type` with `hdm_bytes` of device
+    /// memory advertises.
+    pub fn for_device(device_type: DeviceType, hdm_bytes: u64) -> Self {
+        let mem = device_type.supports_h2d();
+        CxlDvsec {
+            cache_capable: device_type.supports_coherent_d2h(),
+            io_capable: true,
+            mem_capable: mem,
+            hdm_size_256mb: if mem { (hdm_bytes >> 28) as u32 } else { 0 },
+            hdm_count: u8::from(mem),
+        }
+    }
+
+    /// The device type implied by the capability bits, if the combination
+    /// is architecturally defined.
+    pub fn device_type(&self) -> Option<DeviceType> {
+        match (self.io_capable, self.cache_capable, self.mem_capable) {
+            (true, true, true) => Some(DeviceType::Type2),
+            (true, true, false) => Some(DeviceType::Type1),
+            (true, false, true) => Some(DeviceType::Type3),
+            _ => None,
+        }
+    }
+
+    /// Encodes into the DVSEC register block (header + capability +
+    /// range registers), as dwords.
+    pub fn encode(&self) -> [u32; 4] {
+        // Dword 0: DVSEC header 1 — vendor ID + revision + length.
+        let header1 = u32::from(CXL_VENDOR_ID) | (1 << 16) | (0x10 << 20);
+        // Dword 1: DVSEC header 2 — DVSEC ID.
+        let header2 = u32::from(CXL_DEVICE_DVSEC_ID);
+        // Dword 2: capability register.
+        let mut cap = 0u32;
+        if self.cache_capable {
+            cap |= 1;
+        }
+        if self.io_capable {
+            cap |= 1 << 1;
+        }
+        if self.mem_capable {
+            cap |= 1 << 2;
+        }
+        cap |= u32::from(self.hdm_count & 0x3) << 4;
+        // Dword 3: range-size register (256 MiB units).
+        [header1, header2, cap, self.hdm_size_256mb]
+    }
+
+    /// Decodes from the register block.
+    ///
+    /// Returns `None` if the header does not identify a CXL device DVSEC.
+    pub fn decode(regs: &[u32; 4]) -> Option<CxlDvsec> {
+        if (regs[0] & 0xFFFF) as u16 != CXL_VENDOR_ID {
+            return None;
+        }
+        if (regs[1] & 0xFFFF) as u16 != CXL_DEVICE_DVSEC_ID {
+            return None;
+        }
+        let cap = regs[2];
+        Some(CxlDvsec {
+            cache_capable: cap & 1 != 0,
+            io_capable: cap & (1 << 1) != 0,
+            mem_capable: cap & (1 << 2) != 0,
+            hdm_count: ((cap >> 4) & 0x3) as u8,
+            hdm_size_256mb: regs[3],
+        })
+    }
+}
+
+/// The host-side enumeration step: walk a device's advertised DVSEC and
+/// decide how to bind it.
+///
+/// # Examples
+///
+/// ```
+/// use cxl_proto::device_type::DeviceType;
+/// use cxl_proto::dvsec::{enumerate, CxlDvsec};
+///
+/// let regs = CxlDvsec::for_device(DeviceType::Type2, 32 << 30).encode();
+/// let binding = enumerate(&regs).expect("valid CXL DVSEC");
+/// assert_eq!(binding.device_type, DeviceType::Type2);
+/// assert_eq!(binding.hdm_bytes, 32 << 30);
+/// ```
+pub fn enumerate(regs: &[u32; 4]) -> Option<Enumeration> {
+    let dvsec = CxlDvsec::decode(regs)?;
+    let device_type = dvsec.device_type()?;
+    Some(Enumeration {
+        device_type,
+        hdm_bytes: u64::from(dvsec.hdm_size_256mb) << 28,
+        coherent_d2h: dvsec.cache_capable,
+    })
+}
+
+/// Result of enumerating a CXL device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Enumeration {
+    /// The bound device type.
+    pub device_type: DeviceType,
+    /// Host-managed device memory to map into the physical address space.
+    pub hdm_bytes: u64,
+    /// Whether the device may issue coherent D2H requests.
+    pub coherent_d2h: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type2_advertises_all_protocols() {
+        let d = CxlDvsec::for_device(DeviceType::Type2, 32 << 30);
+        assert!(d.cache_capable && d.io_capable && d.mem_capable);
+        assert_eq!(d.hdm_size_256mb, 128, "32 GiB = 128 x 256 MiB");
+        assert_eq!(d.device_type(), Some(DeviceType::Type2));
+    }
+
+    #[test]
+    fn type3_has_no_cache_capability() {
+        let d = CxlDvsec::for_device(DeviceType::Type3, 64 << 30);
+        assert!(!d.cache_capable);
+        assert!(d.mem_capable);
+        assert_eq!(d.device_type(), Some(DeviceType::Type3));
+    }
+
+    #[test]
+    fn type1_has_no_device_memory() {
+        let d = CxlDvsec::for_device(DeviceType::Type1, 0);
+        assert!(d.cache_capable && !d.mem_capable);
+        assert_eq!(d.hdm_size_256mb, 0);
+        assert_eq!(d.hdm_count, 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for t in DeviceType::ALL {
+            let d = CxlDvsec::for_device(t, 16 << 30);
+            assert_eq!(CxlDvsec::decode(&d.encode()), Some(d), "{t}");
+        }
+    }
+
+    #[test]
+    fn wrong_vendor_rejected() {
+        let mut regs = CxlDvsec::for_device(DeviceType::Type2, 1 << 30).encode();
+        regs[0] = (regs[0] & !0xFFFF) | 0x8086;
+        assert_eq!(CxlDvsec::decode(&regs), None);
+        assert_eq!(enumerate(&regs), None);
+    }
+
+    #[test]
+    fn undefined_capability_combination_does_not_bind() {
+        let bogus = CxlDvsec {
+            cache_capable: false,
+            io_capable: true,
+            mem_capable: false,
+            hdm_size_256mb: 0,
+            hdm_count: 0,
+        };
+        assert_eq!(bogus.device_type(), None);
+        assert_eq!(enumerate(&bogus.encode()), None);
+    }
+
+    #[test]
+    fn enumeration_recovers_memory_size() {
+        let regs = CxlDvsec::for_device(DeviceType::Type3, 256 << 30).encode();
+        let e = enumerate(&regs).unwrap();
+        assert_eq!(e.hdm_bytes, 256 << 30);
+        assert!(!e.coherent_d2h);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the protocol layer.
+
+use cxl_proto::bias::{BiasMode, BiasTable};
+use cxl_proto::flit::{Flit, Slot, FLIT_BYTES};
+use cxl_proto::link::Link;
+use cxl_proto::request::D2hOpcode;
+use proptest::prelude::*;
+use sim_core::time::{Duration, Time};
+
+fn slot_strategy() -> impl Strategy<Value = Slot> {
+    prop_oneof![
+        Just(Slot::Empty),
+        (0u8..8, any::<u16>(), any::<u64>()).prop_map(|(op, cqid, addr)| {
+            let opcode = [
+                D2hOpcode::RdCurr,
+                D2hOpcode::RdOwn,
+                D2hOpcode::RdShared,
+                D2hOpcode::RdOwnNoData,
+                D2hOpcode::WrCur,
+                D2hOpcode::ItoMWr,
+                D2hOpcode::CleanEvict,
+                D2hOpcode::DirtyEvict,
+            ][op as usize];
+            Slot::D2hReq { opcode, cqid: cqid & 0x0FFF, addr: addr & ((1 << 46) - 1) }
+        }),
+        (any::<u16>(), 0u8..16).prop_map(|(cqid, code)| Slot::H2dResp {
+            cqid: cqid & 0x0FFF,
+            code,
+        }),
+        any::<[u8; 16]>().prop_map(Slot::Data),
+    ]
+}
+
+proptest! {
+    /// Flit encode/decode is the identity for in-range fields.
+    #[test]
+    fn flit_roundtrip(slots in proptest::collection::vec(slot_strategy(), 4)) {
+        let flit = Flit::new([slots[0], slots[1], slots[2], slots[3]]);
+        let wire = flit.encode();
+        prop_assert_eq!(Flit::decode(&wire).unwrap(), flit);
+    }
+
+    /// Any single-bit corruption of the slot bytes is caught by the CRC.
+    #[test]
+    fn flit_crc_catches_bit_flips(
+        slots in proptest::collection::vec(slot_strategy(), 4),
+        byte in 0usize..FLIT_BYTES - 2,
+        bit in 0u8..8,
+    ) {
+        let flit = Flit::new([slots[0], slots[1], slots[2], slots[3]]);
+        let mut wire = flit.encode();
+        wire[byte] ^= 1 << bit;
+        // Either the CRC fires or (if the flip hit an unused padding byte
+        // decoded as part of an Empty/short slot) decoding must not equal
+        // the original with different bytes — the CRC covers everything,
+        // so it always fires.
+        prop_assert!(Flit::decode(&wire).is_err(), "corruption undetected");
+    }
+
+    /// Link deliveries are causal and FIFO regardless of sizes and gaps,
+    /// with or without error injection.
+    #[test]
+    fn link_is_causal_fifo(
+        msgs in proptest::collection::vec((0u64..5_000, 0u64..4_096), 1..100),
+        error in 0u8..2,
+    ) {
+        let mut link = Link::new(Duration::from_nanos(30), 56.0, 4);
+        if error == 1 {
+            link = link.with_error_rate(0.1, 99);
+        }
+        let mut now = Time::ZERO;
+        let mut last_arrival = Time::ZERO;
+        for (gap, bytes) in msgs {
+            now += Duration::from_nanos(gap);
+            let arrival = link.deliver(now, bytes);
+            prop_assert!(arrival >= now + link.propagation());
+            prop_assert!(arrival >= last_arrival, "FIFO delivery");
+            last_arrival = arrival;
+        }
+    }
+
+    /// Bias-table state machine: after any interleaving of switches and
+    /// H2D accesses, a region is in device bias iff its last transition
+    /// was a switch (not an access).
+    #[test]
+    fn bias_table_tracks_last_transition(events in proptest::collection::vec(any::<bool>(), 1..60)) {
+        let mut t = BiasTable::new();
+        t.define_region(0..4096, BiasMode::HostBias);
+        for switch in events {
+            let want = if switch {
+                t.switch_to_device_bias(0);
+                BiasMode::DeviceBias
+            } else {
+                t.on_h2d_access(0);
+                BiasMode::HostBias
+            };
+            prop_assert_eq!(t.mode_of(0), want);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Host vs device address-space partitioning.
+//!
+//! CXL.mem exposes device memory in the host physical address space (the
+//! device appears as a CPU-less NUMA node), so host LLC lines and device
+//! DMC lines can refer to device memory with the *same* addresses. We carve
+//! the line-address space: indices below [`DEVICE_MEM_BASE`] are host
+//! memory; indices at or above it are device memory.
+
+use mem_subsys::line::LineAddr;
+
+/// First line index of device-attached memory (1 TiB boundary).
+pub const DEVICE_MEM_BASE: u64 = 1 << 34;
+
+/// A host-memory line address from a host line index.
+///
+/// # Examples
+///
+/// ```
+/// use cxl_type2::addr::{device_line, host_line, is_device_addr};
+///
+/// assert!(!is_device_addr(host_line(7)));
+/// assert!(is_device_addr(device_line(7)));
+/// ```
+pub fn host_line(index: u64) -> LineAddr {
+    assert!(index < DEVICE_MEM_BASE, "host line index overflows into device space");
+    LineAddr::new(index)
+}
+
+/// A device-memory line address from a device-local line index.
+pub fn device_line(index: u64) -> LineAddr {
+    LineAddr::new(DEVICE_MEM_BASE + index)
+}
+
+/// True if the line lives in device-attached memory.
+pub fn is_device_addr(addr: LineAddr) -> bool {
+    addr.index() >= DEVICE_MEM_BASE
+}
+
+/// The device-local line index of a device-memory address.
+///
+/// # Panics
+///
+/// Panics if `addr` is a host-memory address.
+pub fn device_local_index(addr: LineAddr) -> u64 {
+    assert!(is_device_addr(addr), "not a device-memory address: {addr}");
+    addr.index() - DEVICE_MEM_BASE
+}
+
+/// The device-local *byte* offset of a device-memory address (used by the
+/// bias table, which operates on byte ranges).
+pub fn device_byte_offset(addr: LineAddr) -> u64 {
+    device_local_index(addr) * mem_subsys::line::LINE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning() {
+        assert!(!is_device_addr(host_line(0)));
+        assert!(!is_device_addr(host_line(DEVICE_MEM_BASE - 1)));
+        assert!(is_device_addr(device_line(0)));
+        assert_eq!(device_local_index(device_line(42)), 42);
+        assert_eq!(device_byte_offset(device_line(2)), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows into device space")]
+    fn host_line_bounds_checked() {
+        let _ = host_line(DEVICE_MEM_BASE);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a device-memory address")]
+    fn device_index_of_host_addr_panics() {
+        let _ = device_local_index(host_line(1));
+    }
+}

@@ -1,0 +1,237 @@
+//! The coherent platform: one host socket + one CXL Type-2 device.
+//!
+//! [`Socket`]'s core-side operations are device-unaware; on a real system
+//! the home agent back-snoops the device over CXL.cache when the host
+//! touches a line the DCOH holds (the HMC appears in the host's snoop
+//! filter). [`Platform`] provides that glue: host-side accesses check the
+//! device's HMC first and degrade/invalidate it with the appropriate
+//! back-invalidation latency, preserving the single-writer invariant
+//! across agents.
+
+use cxl_proto::link::cxl_x16;
+use host::socket::{Access, Socket};
+use mem_subsys::coherence::MesiState;
+use mem_subsys::line::LineAddr;
+use sim_core::time::{Duration, Time};
+
+use crate::addr::is_device_addr;
+use crate::device::CxlDevice;
+
+/// A host socket paired with a CXL Type-2 device, with hardware-managed
+/// coherence between them.
+///
+/// # Examples
+///
+/// ```
+/// use cxl_type2::addr::host_line;
+/// use cxl_type2::platform::Platform;
+/// use cxl_proto::request::RequestType;
+/// use mem_subsys::coherence::MesiState;
+/// use sim_core::time::Time;
+///
+/// let mut p = Platform::agilex7_testbed();
+/// let a = host_line(7);
+/// // The device takes ownership; a host store then reclaims it.
+/// p.dev.d2h(RequestType::CO_WR, a, Time::ZERO, &mut p.host);
+/// assert_eq!(p.dev.hmc_state(a), Some(MesiState::Modified));
+/// p.host_store(a, Time::from_nanos(1_000));
+/// assert_eq!(p.dev.hmc_state(a), None, "back-invalidated");
+/// ```
+#[derive(Debug)]
+pub struct Platform {
+    /// The host socket.
+    pub host: Socket,
+    /// The CXL Type-2 device.
+    pub dev: CxlDevice,
+}
+
+impl Platform {
+    /// The paper's testbed: Xeon socket + Agilex-7 Type-2 card.
+    pub fn agilex7_testbed() -> Self {
+        Platform { host: Socket::xeon_6538y(), dev: CxlDevice::agilex7() }
+    }
+
+    /// Builds from parts.
+    pub fn new(host: Socket, dev: CxlDevice) -> Self {
+        Platform { host, dev }
+    }
+
+    /// The back-snoop round-trip cost when the host must recall a line
+    /// from the device (a CXL.cache H2D snoop + D2H response).
+    fn back_snoop_cost(&self) -> Duration {
+        cxl_x16().unloaded_latency(0) + cxl_x16().unloaded_latency(64)
+            + self.dev.timing.dcoh_lookup
+    }
+
+    /// Recalls the line from the device HMC for a host *read*: M/E copies
+    /// degrade to Shared (dirty data forwarded), returning the extra
+    /// latency incurred.
+    fn recall_for_read(&mut self, addr: LineAddr, now: Time) -> Duration {
+        match self.dev.hmc_state(addr) {
+            Some(MesiState::Modified) => {
+                self.dev.writeback_and_degrade(addr, now, &mut self.host);
+                self.back_snoop_cost()
+            }
+            Some(MesiState::Exclusive) => {
+                self.dev.degrade_hmc(addr);
+                self.back_snoop_cost()
+            }
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Recalls the line for a host *write*: all device copies invalidate
+    /// (dirty data forwarded), returning the extra latency incurred.
+    fn recall_for_write(&mut self, addr: LineAddr, now: Time) -> Duration {
+        match self.dev.hmc_state(addr) {
+            Some(state) => {
+                if state.is_dirty() {
+                    self.dev.writeback_and_degrade(addr, now, &mut self.host);
+                }
+                self.dev.invalidate_hmc(addr);
+                self.back_snoop_cost()
+            }
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Coherent host load: snoops the device HMC before the local access.
+    pub fn host_load(&mut self, addr: LineAddr, now: Time) -> Access {
+        if is_device_addr(addr) {
+            let acc = self.dev.h2d_load(addr, now, &mut self.host);
+            return Access {
+                completion: acc.completion,
+                level: host::hierarchy::HitLevel::Memory,
+            };
+        }
+        let extra = self.recall_for_read(addr, now);
+        self.host.load(addr, now + extra)
+    }
+
+    /// Coherent host store: invalidates device copies before the local
+    /// store.
+    pub fn host_store(&mut self, addr: LineAddr, now: Time) -> Access {
+        if is_device_addr(addr) {
+            let acc = self.dev.h2d_store(addr, now, &mut self.host);
+            return Access {
+                completion: acc.completion,
+                level: host::hierarchy::HitLevel::Memory,
+            };
+        }
+        let extra = self.recall_for_write(addr, now);
+        self.host.store(addr, now + extra)
+    }
+
+    /// Coherent host non-temporal store.
+    pub fn host_nt_store(&mut self, addr: LineAddr, now: Time) -> Access {
+        if is_device_addr(addr) {
+            let acc = self.dev.h2d_nt_store(addr, now, &mut self.host);
+            return Access {
+                completion: acc.completion,
+                level: host::hierarchy::HitLevel::Memory,
+            };
+        }
+        // A full-line overwrite needs no dirty data back, only
+        // invalidation.
+        let extra = match self.dev.hmc_state(addr) {
+            Some(_) => {
+                self.dev.invalidate_hmc(addr);
+                self.back_snoop_cost()
+            }
+            None => Duration::ZERO,
+        };
+        self.host.nt_store(addr, now + extra)
+    }
+
+    /// Coherent CLFLUSH covering both agents. Dirty device-memory lines
+    /// write back over CXL into device memory.
+    pub fn host_clflush(&mut self, addr: LineAddr, now: Time) -> Time {
+        if is_device_addr(addr) {
+            let dirty = self.host.caches.flush_line(addr);
+            let t = now + self.host.timing.issue + self.host.timing.cacheline_op;
+            if dirty {
+                return self.dev.writeback_device_line(addr, t);
+            }
+            return t;
+        }
+        let extra = self.recall_for_write(addr, now);
+        self.host.clflush(addr, now + extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{device_line, host_line};
+    use cxl_proto::request::RequestType;
+
+    #[test]
+    fn host_store_reclaims_device_owned_line() {
+        let mut p = Platform::agilex7_testbed();
+        let a = host_line(100);
+        p.dev.d2h(RequestType::CO_WR, a, Time::ZERO, &mut p.host);
+        assert_eq!(p.dev.hmc_state(a), Some(MesiState::Modified));
+        let (_, w0) = p.host.mem.op_counts();
+        p.host_store(a, Time::from_nanos(5_000));
+        assert_eq!(p.dev.hmc_state(a), None);
+        assert_eq!(p.host.caches.llc_state(a), Some(MesiState::Modified));
+        assert!(p.host.mem.op_counts().1 > w0, "dirty HMC data written back");
+    }
+
+    #[test]
+    fn host_load_degrades_device_exclusive_to_shared() {
+        let mut p = Platform::agilex7_testbed();
+        let a = host_line(200);
+        p.dev.d2h(RequestType::CO_RD, a, Time::ZERO, &mut p.host);
+        assert_eq!(p.dev.hmc_state(a), Some(MesiState::Exclusive));
+        p.host_load(a, Time::from_nanos(5_000));
+        assert_eq!(p.dev.hmc_state(a), Some(MesiState::Shared));
+    }
+
+    #[test]
+    fn recall_costs_latency() {
+        let mut p = Platform::agilex7_testbed();
+        let owned = host_line(300);
+        let free = host_line(301);
+        p.dev.d2h(RequestType::CO_WR, owned, Time::ZERO, &mut p.host);
+        let t = Time::from_nanos(10_000);
+        let slow = p.host_store(owned, t);
+        let t2 = slow.completion;
+        let fast = p.host_store(free, t2);
+        let slow_lat = slow.completion.duration_since(t);
+        let fast_lat = fast.completion.duration_since(t2);
+        assert!(slow_lat > fast_lat, "recall {slow_lat} vs clean {fast_lat}");
+    }
+
+    #[test]
+    fn shared_hmc_lines_survive_host_reads() {
+        let mut p = Platform::agilex7_testbed();
+        let a = host_line(400);
+        p.dev.d2h(RequestType::CS_RD, a, Time::ZERO, &mut p.host);
+        assert_eq!(p.dev.hmc_state(a), Some(MesiState::Shared));
+        p.host_load(a, Time::from_nanos(5_000));
+        assert_eq!(p.dev.hmc_state(a), Some(MesiState::Shared), "reads coexist");
+    }
+
+    #[test]
+    fn device_addresses_route_to_h2d() {
+        let mut p = Platform::agilex7_testbed();
+        let a = device_line(10);
+        let acc = p.host_store(a, Time::ZERO);
+        assert!(acc.completion > Time::ZERO);
+        assert_eq!(p.dev.counters().h2d_requests, 1);
+    }
+
+    #[test]
+    fn nt_store_drops_device_copy_without_writeback() {
+        let mut p = Platform::agilex7_testbed();
+        let a = host_line(500);
+        p.dev.d2h(RequestType::CO_WR, a, Time::ZERO, &mut p.host);
+        let (_, w0) = p.host.mem.op_counts();
+        p.host_nt_store(a, Time::from_nanos(5_000));
+        assert_eq!(p.dev.hmc_state(a), None);
+        // One write: the nt-st itself (no separate HMC write-back needed
+        // for a full-line overwrite).
+        assert_eq!(p.host.mem.op_counts().1, w0 + 1);
+    }
+}

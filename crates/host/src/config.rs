@@ -1,0 +1,62 @@
+//! Static testbed description (the paper's Table II).
+
+/// A row of the system/device specification table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecRow {
+    /// Component name.
+    pub component: &'static str,
+    /// Description text.
+    pub description: &'static str,
+}
+
+/// The host-system rows of Table II.
+pub fn system_spec() -> Vec<SpecRow> {
+    vec![
+        SpecRow {
+            component: "OS (kernel)",
+            description: "Ubuntu 22.04.2 LTS (Linux kernel v6.5) [simulated kernel features]",
+        },
+        SpecRow {
+            component: "CPU",
+            description: "2x Intel Xeon 6538Y+ @2.2 GHz, 32 cores and 60 MB LLC per CPU, \
+                          Hyper-Threading disabled",
+        },
+        SpecRow {
+            component: "Memory",
+            description: "Socket 0: 8x DDR5-4800 channels; Socket 1: 8x DDR5-4800 channels",
+        },
+    ]
+}
+
+/// The device rows of Table II.
+pub fn device_spec() -> Vec<SpecRow> {
+    vec![
+        SpecRow {
+            component: "CXL Type-2 (Intel Agilex 7)",
+            description: "CXL 1.1 over PCIe 5.0 x16; 2x DDR4-2400; 19.2 GB/s per channel; \
+                          400 MHz device fabric; 128 KB 4-way HMC + 32 KB direct-mapped DMC \
+                          per DCOH slice",
+        },
+        SpecRow {
+            component: "SNIC (NVIDIA BF-3)",
+            description: "PCIe 5.0 x32; DDR5-5200; 41.6 GB/s per channel; Arm cores for \
+                          on-path processing",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_present() {
+        let sys = system_spec();
+        assert_eq!(sys.len(), 3);
+        assert!(sys.iter().any(|r| r.description.contains("6538Y+")));
+        let dev = device_spec();
+        assert_eq!(dev.len(), 2);
+        assert!(dev.iter().any(|r| r.description.contains("DDR4-2400")));
+        assert!(dev.iter().any(|r| r.description.contains("BF-3") || r.component.contains("BF-3")));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the kernel-feature invariants.
+
+use host::socket::Socket;
+use kernel::ksm::Ksm;
+use kernel::offload::CpuBackend;
+use kernel::page::{PageContent, PAGE_SIZE};
+use kernel::zswap::{SwapKey, Zswap, ZswapConfig};
+use proptest::prelude::*;
+use sim_core::rng::SimRng;
+use sim_core::time::Time;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+enum ZswapOp {
+    Store(u8, u8),
+    Load(u8),
+    Invalidate(u8),
+}
+
+fn zswap_op() -> impl Strategy<Value = ZswapOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(k, c)| ZswapOp::Store(k, c)),
+        any::<u8>().prop_map(ZswapOp::Load),
+        any::<u8>().prop_map(ZswapOp::Invalidate),
+    ]
+}
+
+fn page_for(class: u8, rng: &mut SimRng) -> Vec<u8> {
+    match class % 4 {
+        0 => PageContent::Zero.generate(rng),
+        1 => PageContent::Text.generate(rng),
+        2 => PageContent::Binary.generate(rng),
+        _ => PageContent::Random.generate(rng),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under arbitrary store/load/invalidate sequences, zswap (a) always
+    /// returns the exact bytes most recently stored for a key, (b) never
+    /// returns anything for a never-stored or invalidated key, and (c)
+    /// keeps its pool accounting within the configured limit.
+    #[test]
+    fn zswap_is_a_correct_kv_store(ops in proptest::collection::vec(zswap_op(), 1..120)) {
+        let mut host = Socket::xeon_6538y();
+        let cfg = ZswapConfig { max_pool_bytes: 32 * 1024, accept_threshold: 1.0, same_filled_enabled: true };
+        let max_pool = cfg.max_pool_bytes;
+        let mut z = Zswap::new(cfg, CpuBackend::new());
+        let mut rng = SimRng::seed_from(77);
+        // Shadow: what each key should hold (None = not stored / consumed).
+        let mut shadow: HashMap<u8, Option<Vec<u8>>> = HashMap::new();
+        let mut t = Time::ZERO;
+        for op in ops {
+            match op {
+                ZswapOp::Store(k, class) => {
+                    let page = page_for(class, &mut rng);
+                    let r = z.store(SwapKey(k as u64), &page, t, &mut host);
+                    t = r.completion;
+                    shadow.insert(k, Some(page));
+                }
+                ZswapOp::Load(k) => {
+                    let got = z.load(SwapKey(k as u64), t, &mut host);
+                    match shadow.get(&k).cloned().flatten() {
+                        Some(expected) => {
+                            let (page, r) = got.expect("stored key loads");
+                            prop_assert_eq!(page, expected, "key {}", k);
+                            t = r.completion;
+                            // A load consumes the entry (swap-in frees the slot).
+                            shadow.insert(k, None);
+                        }
+                        None => prop_assert!(got.is_none(), "key {} should be absent", k),
+                    }
+                }
+                ZswapOp::Invalidate(k) => {
+                    z.invalidate(SwapKey(k as u64));
+                    shadow.insert(k, None);
+                }
+            }
+            prop_assert!(z.pool_bytes() <= max_pool, "pool limit respected");
+        }
+        // Whatever the shadow says remains must still load correctly.
+        for (k, v) in shadow {
+            if let Some(expected) = v {
+                let (page, _) = z.load(SwapKey(k as u64), t, &mut host).expect("remains loadable");
+                prop_assert_eq!(page, expected);
+            }
+        }
+    }
+
+    /// ksm merge correctness: after repeated scan cycles over an arbitrary
+    /// page population, (a) every page reads back byte-identical to what
+    /// was registered, (b) two pages are merged to the same stable node
+    /// only if identical, and (c) frames saved never exceeds duplicates.
+    #[test]
+    fn ksm_merges_only_identical_pages(
+        classes in proptest::collection::vec(0u8..6, 4..60),
+        cycles in 2usize..4,
+    ) {
+        let mut host = Socket::xeon_6538y();
+        let mut ksm = Ksm::new(CpuBackend::new());
+        let mut rng = SimRng::seed_from(88);
+        let pages: Vec<Vec<u8>> = classes
+            .iter()
+            .map(|&c| match c {
+                0..=2 => PageContent::Duplicate { id: c as u32 }.generate(&mut rng),
+                3 => PageContent::Zero.generate(&mut rng),
+                4 => PageContent::Text.generate(&mut rng),
+                _ => PageContent::Random.generate(&mut rng),
+            })
+            .collect();
+        let ids: Vec<_> = pages.iter().map(|p| ksm.register(p.clone())).collect();
+        let mut t = Time::ZERO;
+        for _ in 0..cycles {
+            let (done, _) = ksm.scan_cycle(&ids, t, &mut host);
+            t = done;
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(ksm.read_page(id), pages[i].as_slice(), "page {} content", i);
+        }
+        // Merged pages must equal at least one other registered page.
+        for (i, &id) in ids.iter().enumerate() {
+            if ksm.is_merged(id) {
+                let twin_exists = pages
+                    .iter()
+                    .enumerate()
+                    .any(|(j, p)| j != i && p == &pages[i]);
+                prop_assert!(twin_exists, "merged page {} has no identical twin", i);
+            }
+        }
+        // frames_saved is bounded by the number of duplicate instances.
+        let mut counts: HashMap<&Vec<u8>, u64> = HashMap::new();
+        for p in &pages {
+            *counts.entry(p).or_default() += 1;
+        }
+        let max_savable: u64 = counts.values().map(|&c| c.saturating_sub(1)).sum();
+        prop_assert!(ksm.frames_saved() <= max_savable);
+    }
+
+    /// CoW breaks preserve isolation: writing through one merged page
+    /// never changes its former twins.
+    #[test]
+    fn cow_isolation(n in 2usize..8, writer in 0usize..8) {
+        let writer = writer % n;
+        let mut host = Socket::xeon_6538y();
+        let mut ksm = Ksm::new(CpuBackend::new());
+        let original = vec![0xABu8; PAGE_SIZE];
+        let ids: Vec<_> = (0..n).map(|_| ksm.register(original.clone())).collect();
+        for _ in 0..3 {
+            ksm.scan_cycle(&ids, Time::ZERO, &mut host);
+        }
+        let new_data = vec![0xCDu8; PAGE_SIZE];
+        ksm.write_page(ids[writer], new_data.clone());
+        prop_assert_eq!(ksm.read_page(ids[writer]), new_data.as_slice());
+        for (i, &id) in ids.iter().enumerate() {
+            if i != writer {
+                prop_assert_eq!(ksm.read_page(id), original.as_slice(), "twin {} intact", i);
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the memory-subsystem invariants.
+
+use mem_subsys::cache::SetAssocCache;
+use mem_subsys::coherence::MesiState;
+use mem_subsys::dram::{DramTech, MemorySystem};
+use mem_subsys::line::LineAddr;
+use mem_subsys::write_queue::WriteQueue;
+use proptest::prelude::*;
+use sim_core::time::{Duration, Time};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    Lookup(u16),
+    FillShared(u16),
+    FillModified(u16),
+    Invalidate(u16),
+    SetShared(u16),
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        any::<u16>().prop_map(CacheOp::Lookup),
+        any::<u16>().prop_map(CacheOp::FillShared),
+        any::<u16>().prop_map(CacheOp::FillModified),
+        any::<u16>().prop_map(CacheOp::Invalidate),
+        any::<u16>().prop_map(CacheOp::SetShared),
+    ]
+}
+
+proptest! {
+    /// Under arbitrary op sequences the cache (a) never exceeds capacity,
+    /// (b) never silently drops a dirty line (every Modified fill is later
+    /// resident, reported evicted, or explicitly invalidated), and (c) its
+    /// shadow model agrees on membership.
+    #[test]
+    fn cache_invariants_hold(ops in proptest::collection::vec(cache_op(), 1..400)) {
+        let capacity_lines = 64usize;
+        let mut cache = SetAssocCache::with_capacity(64 * capacity_lines as u64, 4);
+        // Shadow: lines we believe are resident (state only).
+        let mut shadow: HashMap<u64, MesiState> = HashMap::new();
+        for op in ops {
+            match op {
+                CacheOp::Lookup(a) => {
+                    let addr = LineAddr::new(a as u64);
+                    let got = cache.lookup(addr);
+                    prop_assert_eq!(got, shadow.get(&(a as u64)).copied());
+                }
+                CacheOp::FillShared(a) | CacheOp::FillModified(a) => {
+                    let state = if matches!(op, CacheOp::FillModified(_)) {
+                        MesiState::Modified
+                    } else {
+                        MesiState::Shared
+                    };
+                    let addr = LineAddr::new(a as u64);
+                    if let Some(evicted) = cache.fill(addr, state) {
+                        let removed = shadow.remove(&evicted.addr.index());
+                        prop_assert_eq!(removed, Some(evicted.state), "victim state agrees");
+                    }
+                    shadow.insert(a as u64, state);
+                }
+                CacheOp::Invalidate(a) => {
+                    let addr = LineAddr::new(a as u64);
+                    let got = cache.invalidate(addr);
+                    prop_assert_eq!(got, shadow.remove(&(a as u64)));
+                }
+                CacheOp::SetShared(a) => {
+                    let addr = LineAddr::new(a as u64);
+                    let changed = cache.set_state(addr, MesiState::Shared);
+                    if let std::collections::hash_map::Entry::Occupied(mut e) =
+                        shadow.entry(a as u64)
+                    {
+                        e.insert(MesiState::Shared);
+                        prop_assert!(changed);
+                    } else {
+                        prop_assert!(!changed);
+                    }
+                }
+            }
+            prop_assert!(cache.len() <= capacity_lines);
+            prop_assert_eq!(cache.len(), shadow.len());
+        }
+        // Final sweep: every shadow line is resident with the same state.
+        for (&a, &state) in &shadow {
+            prop_assert_eq!(cache.probe(LineAddr::new(a)), Some(state));
+        }
+    }
+
+    /// Write-queue acceptance times are non-decreasing for non-decreasing
+    /// offer times, and never precede the offer.
+    #[test]
+    fn write_queue_is_causal(
+        gaps in proptest::collection::vec(0u64..500, 1..300),
+        cap in 1usize..64,
+    ) {
+        let mut q = WriteQueue::new(cap, Duration::from_nanos(10));
+        let mut now = Time::ZERO;
+        let mut last_accept = Time::ZERO;
+        for gap in gaps {
+            now += Duration::from_nanos(gap);
+            let accepted = q.push(now);
+            prop_assert!(accepted >= now, "acceptance after offer");
+            prop_assert!(accepted >= last_accept, "FIFO acceptance order");
+            last_accept = accepted;
+        }
+        prop_assert!(q.drained_at() >= last_accept);
+    }
+
+    /// Memory-system reads complete after issue and each channel's
+    /// completions are self-consistent (monotone for same-channel
+    /// same-time issues).
+    #[test]
+    fn dram_reads_are_causal(addrs in proptest::collection::vec(0u64..4096, 1..200)) {
+        let mut mem = MemorySystem::new(DramTech::Ddr4_2400, 2, 32);
+        let mut per_channel_last: HashMap<u64, Time> = HashMap::new();
+        for a in addrs {
+            let done = mem.read(LineAddr::new(a), Time::ZERO);
+            prop_assert!(done > Time::ZERO);
+            let ch = a % 2;
+            if let Some(&prev) = per_channel_last.get(&ch) {
+                prop_assert!(done > prev, "channel {ch} serializes");
+            }
+            per_channel_last.insert(ch, done);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Intel DDIO: DMA writes land in the host LLC.
+//!
+//! §V-D notes that PCIe DMA and RDMA write host memory *through the LLC*
+//! (Data Direct I/O), which is why the paper pairs D2H CXL-ST with NC-P
+//! pushes for a fair comparison — and why all the offload backends pollute
+//! the LLC to a similar degree (§VII). This module applies a completed
+//! inbound DMA's cache-allocation side effect to a host socket.
+
+use host::socket::Socket;
+use mem_subsys::line::{LineAddr, LINE_BYTES};
+use sim_core::time::Time;
+
+/// Fraction of the LLC DDIO may allocate into (the hardware restricts
+/// inbound I/O to a subset of ways; 2 of 12 ways ≈ 17%).
+pub const DDIO_WAY_FRACTION: f64 = 2.0 / 12.0;
+
+/// Applies the cache side effect of an inbound DMA write of `bytes`
+/// starting at `base`: the first lines (up to the DDIO way capacity) are
+/// allocated into the LLC in Modified state; the remainder go to memory.
+///
+/// Returns the number of lines that landed in the LLC.
+///
+/// # Examples
+///
+/// ```
+/// use host::socket::Socket;
+/// use mem_subsys::line::LineAddr;
+/// use pcie::ddio::apply_inbound_dma;
+/// use sim_core::time::Time;
+///
+/// let mut host = Socket::xeon_6538y();
+/// let landed = apply_inbound_dma(&mut host, LineAddr::new(100), 4096, Time::ZERO);
+/// assert_eq!(landed, 64);
+/// assert!(host.caches.llc_state(LineAddr::new(100)).is_some());
+/// ```
+pub fn apply_inbound_dma(host: &mut Socket, base: LineAddr, bytes: u64, now: Time) -> u64 {
+    let lines = bytes.div_ceil(LINE_BYTES).max(1);
+    let llc_lines = host.caches.llc_capacity_bytes() / LINE_BYTES;
+    let ddio_capacity = (llc_lines as f64 * DDIO_WAY_FRACTION) as u64;
+    let in_llc = lines.min(ddio_capacity);
+    for i in 0..in_llc {
+        host.home_push_llc(base.offset(i), now, sim_core::time::Duration::ZERO);
+    }
+    for i in in_llc..lines {
+        let _ = host.mem.write(base.offset(i), now);
+    }
+    in_llc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_subsys::coherence::MesiState;
+
+    #[test]
+    fn small_dma_lands_entirely_in_llc() {
+        let mut host = Socket::xeon_6538y();
+        let landed = apply_inbound_dma(&mut host, LineAddr::new(0), 1024, Time::ZERO);
+        assert_eq!(landed, 16);
+        for i in 0..16 {
+            assert_eq!(
+                host.caches.llc_state(LineAddr::new(i)),
+                Some(MesiState::Modified),
+                "line {i} DDIO-allocated"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_dma_overflows_ddio_ways_to_memory() {
+        let mut host = Socket::xeon_6538y();
+        // 60 MiB LLC, 2/12 ways => ~10 MiB DDIO capacity; a 32 MiB DMA
+        // cannot fully allocate.
+        let bytes = 32 << 20;
+        let landed = apply_inbound_dma(&mut host, LineAddr::new(0), bytes, Time::ZERO);
+        let lines = bytes / 64;
+        assert!(landed < lines, "landed {landed} of {lines}");
+        let (_, writes) = host.mem.op_counts();
+        assert!(writes > 0, "overflow lines wrote memory");
+    }
+
+    #[test]
+    fn ddio_invalidates_stale_core_copies() {
+        let mut host = Socket::xeon_6538y();
+        let a = LineAddr::new(7);
+        host.load(a, Time::ZERO);
+        apply_inbound_dma(&mut host, a, 64, Time::ZERO);
+        // The DMAed data supersedes the stale copy: only in LLC, Modified.
+        assert_eq!(host.caches.probe(a).map(|(_, s)| s), Some(MesiState::Modified));
+    }
+}

@@ -1,0 +1,194 @@
+//! A minimal discrete-event simulation core.
+//!
+//! [`EventQueue`] delivers typed events in timestamp order with a stable
+//! FIFO tiebreak for simultaneous events, which keeps multi-actor
+//! simulations (Redis servers, clients, kswapd, the antagonist) fully
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// An event scheduled for delivery at a given simulated time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first;
+        // seq breaks ties FIFO.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A timestamp-ordered event queue driving a simulation.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::event::EventQueue;
+/// use sim_core::time::{Duration, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_nanos(20), "late");
+/// q.schedule(Time::from_nanos(10), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (Time::from_nanos(10), "early"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Time::ZERO }
+    }
+
+    /// The time of the most recently popped event (simulation "now").
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `event` for delivery at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current simulation time: delivering into
+    /// the past would break causality.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        assert!(at >= self.now, "cannot schedule event in the past ({at} < {})", self.now);
+        self.heap.push(Scheduled { at, seq: self.next_seq, event });
+        self.next_seq += 1;
+    }
+
+    /// Removes and returns the earliest event, advancing simulation time.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now);
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+    use crate::time::Duration;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_nanos(30), 3);
+        q.schedule(Time::from_nanos(10), 1);
+        q.schedule(Time::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_nanos(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_nanos(7), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_nanos(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_nanos(10), ());
+        q.pop();
+        q.schedule(Time::from_nanos(5), ());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Time::from_nanos(4), 'a');
+        q.schedule(Time::from_nanos(2), 'b');
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(2)));
+    }
+
+    #[test]
+    fn random_interleaving_is_globally_sorted() {
+        let mut rng = SimRng::seed_from(11);
+        let mut q = EventQueue::new();
+        // Interleave scheduling and popping; popped times must never
+        // decrease.
+        let mut last = Time::ZERO;
+        let mut pending = 0u32;
+        for _ in 0..2000 {
+            if pending == 0 || rng.gen_bool(0.6) {
+                let at = q.now() + Duration::from_picos(rng.gen_range(1_000_000));
+                q.schedule(at, ());
+                pending += 1;
+            } else {
+                let (t, ()) = q.pop().unwrap();
+                assert!(t >= last);
+                last = t;
+                pending -= 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # sim-core
+//!
+//! Discrete-event simulation substrate for the `cxl-t2-sim` workspace — the
+//! Rust reproduction of *"Demystifying a CXL Type-2 Device"* (MICRO 2024).
+//!
+//! This crate is hardware-agnostic: it provides picosecond-resolution
+//! [`time`] arithmetic and clock domains, a deterministic [`rng`], an
+//! ordered [`event`] queue, and the [`stats`] reductions (medians, p99,
+//! bandwidth) that the paper's methodology calls for. Every other crate in
+//! the workspace builds its timing models on these primitives.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::prelude::*;
+//!
+//! // A 400 MHz device ACC spends 16 cycles per 64B word; measure bandwidth.
+//! let elapsed = DEVICE_CLOCK.cycles_to_duration(Cycles(16));
+//! let gbps = bandwidth_gbps(64, elapsed);
+//! assert!(gbps > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+/// Convenient glob-import of the most common simulation types.
+pub mod prelude {
+    pub use crate::event::EventQueue;
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{bandwidth_gbps, Histogram, Samples, Summary};
+    pub use crate::time::{ClockDomain, Cycles, Duration, Time, DEVICE_CLOCK, HOST_CLOCK};
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use sim_core::event::EventQueue;
+use sim_core::rng::SimRng;
+use sim_core::stats::{Histogram, Samples};
+use sim_core::time::{Duration, Time};
+
+proptest! {
+    /// Popping the queue always yields non-decreasing timestamps,
+    /// regardless of insertion order.
+    #[test]
+    fn event_queue_is_globally_ordered(offsets in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &off) in offsets.iter().enumerate() {
+            q.schedule(Time::from_picos(off), i);
+        }
+        let mut last = Time::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, offsets.len());
+    }
+
+    /// Histogram quantiles stay within ~4% relative error of the exact
+    /// (all-samples) estimator across arbitrary latency distributions.
+    #[test]
+    fn histogram_tracks_exact_quantiles(
+        mut ns in proptest::collection::vec(1u64..10_000_000, 100..2000),
+        p in 1.0f64..100.0,
+    ) {
+        let mut h = Histogram::new();
+        let mut exact = Samples::new();
+        for &v in &ns {
+            h.record(Duration::from_nanos(v));
+            exact.record(v as f64);
+        }
+        ns.sort_unstable();
+        let est = h.percentile(p).as_nanos_f64();
+        let want = exact.percentile(p);
+        let err = (est - want).abs() / want;
+        prop_assert!(err < 0.04, "p{p}: est {est} want {want} err {err}");
+    }
+
+    /// Histogram merge is equivalent to recording the union.
+    #[test]
+    fn histogram_merge_is_union(
+        a in proptest::collection::vec(1u64..1_000_000, 1..500),
+        b in proptest::collection::vec(1u64..1_000_000, 1..500),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hu = Histogram::new();
+        for &v in &a {
+            ha.record(Duration::from_nanos(v));
+            hu.record(Duration::from_nanos(v));
+        }
+        for &v in &b {
+            hb.record(Duration::from_nanos(v));
+            hu.record(Duration::from_nanos(v));
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        for p in [50.0, 90.0, 99.0] {
+            prop_assert_eq!(ha.percentile(p), hu.percentile(p));
+        }
+        prop_assert_eq!(ha.mean(), hu.mean());
+        prop_assert_eq!(ha.max(), hu.max());
+    }
+
+    /// gen_range is unbiased enough: over many draws every residue class
+    /// of a small modulus is hit.
+    #[test]
+    fn rng_range_has_full_support(seed in any::<u64>(), bound in 2u64..12) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut seen = vec![false; bound as usize];
+        for _ in 0..2_000 {
+            seen[rng.gen_range(bound) as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "bound {bound}: {seen:?}");
+    }
+
+    /// Duration arithmetic is associative/commutative over additions.
+    #[test]
+    fn duration_addition_laws(a in 0u64..1u64<<40, b in 0u64..1u64<<40, c in 0u64..1u64<<40) {
+        let (da, db, dc) =
+            (Duration::from_picos(a), Duration::from_picos(b), Duration::from_picos(c));
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((da + db) + dc, da + (db + dc));
+        prop_assert_eq!((Time::ZERO + da + db).duration_since(Time::ZERO), da + db);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: bring up a host + CXL Type-2 device and issue the three
+//! kinds of cache-coherent accesses the paper characterizes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cxl_t2_sim::prelude::*;
+
+fn main() {
+    // The paper's testbed: a Xeon socket and an Agilex-7 CXL Type-2 card.
+    let mut host = Socket::xeon_6538y();
+    let mut dev = CxlDevice::agilex7();
+    let mut t = Time::ZERO;
+
+    println!("== D2H: the device accelerator reads host memory ==");
+    let addr = host_line(0x1000);
+    // Stage the Fig. 3 "LLC-1" case: the host core touches the line and
+    // CLDEMOTEs it so it lives only in the LLC.
+    host.load(addr, t);
+    t = host.cldemote(addr, t + Duration::from_nanos(50));
+    for req in [RequestType::NC_RD, RequestType::CS_RD, RequestType::CO_RD] {
+        let acc = dev.d2h(req, addr, t, &mut host);
+        println!(
+            "  {req:<6} -> {:>8.1} ns  (HMC hit: {}, LLC hit: {:?})",
+            acc.completion.duration_since(t).as_nanos_f64(),
+            acc.device_cache_hit,
+            acc.llc_hit,
+        );
+        t = acc.completion;
+    }
+
+    println!("== D2D: device memory in host-bias vs device-bias mode ==");
+    let dm = device_line(0x40);
+    let hb_start = t;
+    let hb = dev.d2d(RequestType::CO_WR, dm, hb_start, &mut host);
+    let prep = dev.enter_device_bias(dm, 1, hb.completion, &mut host);
+    let db = dev.d2d(RequestType::CO_WR, dm, prep, &mut host);
+    println!(
+        "  CO-wr host-bias: {:>7.1} ns   device-bias: {:>7.1} ns",
+        hb.completion.duration_since(hb_start).as_nanos_f64(),
+        db.completion.duration_since(prep).as_nanos_f64(),
+    );
+    t = db.completion;
+
+    println!("== H2D: the host CPU loads from device memory ==");
+    let cold = dev.h2d_load(device_line(0x80), t, &mut host);
+    println!(
+        "  ld (DMC miss):      {:>7.1} ns",
+        cold.completion.duration_since(t).as_nanos_f64()
+    );
+    t = cold.completion;
+    // Insight 4: NC-P pushes the line into host LLC ahead of the access.
+    let pushed = dev.d2h_push_from_device(device_line(0x90), t, &mut host);
+    let warm = dev.h2d_load(device_line(0x90), pushed, &mut host);
+    println!(
+        "  ld (after NC-P):    {:>7.1} ns",
+        warm.completion.duration_since(pushed).as_nanos_f64()
+    );
+
+    let c = dev.counters();
+    println!(
+        "device served {} D2H, {} D2D, {} H2D requests",
+        c.d2h_requests, c.d2d_requests, c.h2d_requests
+    );
+}

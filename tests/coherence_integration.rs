@@ -1,0 +1,182 @@
+//! Cross-crate coherence integration: random interleavings of host and
+//! device operations must never violate the single-writer invariant or
+//! lose track of a line's state.
+
+use cxl_t2_sim::prelude::*;
+use proptest::prelude::*;
+
+/// Operations the fuzzer interleaves.
+#[derive(Debug, Clone, Copy)]
+enum FuzzOp {
+    HostLoad(u8),
+    HostStore(u8),
+    HostNtStore(u8),
+    HostFlush(u8),
+    D2h(u8, u8),
+    H2dLoad(u8),
+    H2dStore(u8),
+    H2dNtStore(u8),
+    D2d(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = FuzzOp> {
+    prop_oneof![
+        any::<u8>().prop_map(FuzzOp::HostLoad),
+        any::<u8>().prop_map(FuzzOp::HostStore),
+        any::<u8>().prop_map(FuzzOp::HostNtStore),
+        any::<u8>().prop_map(FuzzOp::HostFlush),
+        (any::<u8>(), 0u8..6).prop_map(|(a, r)| FuzzOp::D2h(a, r)),
+        any::<u8>().prop_map(FuzzOp::H2dLoad),
+        any::<u8>().prop_map(FuzzOp::H2dStore),
+        any::<u8>().prop_map(FuzzOp::H2dNtStore),
+        (any::<u8>(), 0u8..6).prop_map(|(a, r)| FuzzOp::D2d(a, r)),
+    ]
+}
+
+fn request_for(r: u8) -> RequestType {
+    RequestType::ALL[(r % 6) as usize]
+}
+
+/// After every operation: a host-memory line must never be writable
+/// (M/E) in both the host LLC and the device HMC simultaneously.
+fn check_single_writer(host: &Socket, dev: &CxlDevice, addr: mem_subsys::LineAddr) {
+    let host_state = host.caches.llc_state(addr);
+    let hmc_state = dev.hmc_state(addr);
+    let host_writable = host_state.is_some_and(|s| s.is_writable());
+    let hmc_writable = hmc_state.is_some_and(|s| s.is_writable());
+    assert!(
+        !(host_writable && hmc_writable),
+        "single-writer violated at {addr}: LLC {host_state:?} HMC {hmc_state:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_interleavings_preserve_coherence(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut p = Platform::agilex7_testbed();
+        let mut t = Time::ZERO;
+        for op in ops {
+            match op {
+                FuzzOp::HostLoad(a) => {
+                    let addr = host_line(a as u64);
+                    t = p.host_load(addr, t).completion;
+                    check_single_writer(&p.host, &p.dev, addr);
+                }
+                FuzzOp::HostStore(a) => {
+                    let addr = host_line(a as u64);
+                    t = p.host_store(addr, t).completion;
+                    check_single_writer(&p.host, &p.dev, addr);
+                    // A host store must hold exclusive ownership.
+                    let hmc = p.dev.hmc_state(addr);
+                    prop_assert!(hmc.is_none(), "HMC kept a copy after host store: {hmc:?}");
+                }
+                FuzzOp::HostNtStore(a) => {
+                    let addr = host_line(a as u64);
+                    t = p.host_nt_store(addr, t).completion;
+                    prop_assert!(p.dev.hmc_state(addr).is_none());
+                }
+                FuzzOp::HostFlush(a) => {
+                    t = p.host_clflush(host_line(a as u64), t);
+                }
+                FuzzOp::D2h(a, r) => {
+                    let addr = host_line(a as u64);
+                    t = p.dev.d2h(request_for(r), addr, t, &mut p.host).completion;
+                    check_single_writer(&p.host, &p.dev, addr);
+                }
+                FuzzOp::H2dLoad(a) => {
+                    t = p.host_load(device_line(a as u64), t).completion;
+                }
+                FuzzOp::H2dStore(a) => {
+                    let addr = device_line(a as u64);
+                    t = p.host_store(addr, t).completion;
+                    // After a host store, the device DMC must not claim
+                    // a writable copy of the same line.
+                    let dmc_writable = p.dev.dmc_state(addr).is_some_and(|s| s.is_writable());
+                    prop_assert!(!dmc_writable, "DMC writable after host store at {addr}");
+                }
+                FuzzOp::H2dNtStore(a) => {
+                    t = p.host_nt_store(device_line(a as u64), t).completion;
+                }
+                FuzzOp::D2d(a, r) => {
+                    let req = request_for(r);
+                    if req.hint() != CacheHint::NcPush {
+                        let addr = device_line(a as u64);
+                        t = p.dev.d2d(req, addr, t, &mut p.host).completion;
+                        // A host-bias D2D write must leave no stale host copy.
+                        if !req.is_read() {
+                            let host_writable =
+                                p.host.caches.llc_state(addr).is_some_and(|s| s.is_writable());
+                            prop_assert!(!host_writable, "host kept writable copy at {addr}");
+                        }
+                    }
+                }
+            }
+        }
+        // Simulated time only moves forward.
+        prop_assert!(t >= Time::ZERO);
+    }
+
+    /// The host-bias D2H state machine agrees with Table III regardless of
+    /// the prior LLC state.
+    #[test]
+    fn d2h_postconditions_hold_from_any_llc_state(
+        prior in 0u8..4,
+        r in 0u8..6,
+        addr_byte in any::<u8>(),
+    ) {
+        let mut host = Socket::xeon_6538y();
+        let mut dev = CxlDevice::agilex7();
+        let addr = host_line(1000 + addr_byte as u64);
+        // Stage the prior LLC state.
+        match prior {
+            0 => {} // absent
+            1 => {
+                host.load(addr, Time::ZERO);
+                host.cldemote(addr, Time::ZERO);
+                host.caches.degrade_to_shared(addr);
+            }
+            2 => {
+                host.load(addr, Time::ZERO);
+                host.cldemote(addr, Time::ZERO);
+            }
+            _ => {
+                host.store(addr, Time::ZERO);
+                host.cldemote(addr, Time::ZERO);
+            }
+        }
+        let req = request_for(r);
+        dev.d2h(req, addr, Time::from_nanos(10_000), &mut host);
+        let hmc = dev.hmc_state(addr);
+        let llc = host.caches.llc_state(addr);
+        match (req.hint(), req.is_read()) {
+            (CacheHint::NcPush, _) => {
+                prop_assert_eq!(hmc, None);
+                prop_assert_eq!(llc, Some(MesiState::Modified));
+            }
+            (CacheHint::Nc, false) => {
+                prop_assert_eq!(hmc, None);
+                prop_assert_eq!(llc, None);
+            }
+            (CacheHint::CacheableOwned, _) => {
+                prop_assert!(hmc.is_some_and(|s| s.is_writable()), "CO leaves ownership: {hmc:?}");
+                prop_assert_eq!(llc, None);
+            }
+            (CacheHint::CacheableShared, _) => {
+                prop_assert_eq!(hmc, Some(MesiState::Shared));
+                prop_assert!(llc.is_none() || llc == Some(MesiState::Shared));
+            }
+            (CacheHint::Nc, true) => {
+                // NC-read never allocates.
+                prop_assert!(hmc.is_none() || prior_had_hmc_is_impossible());
+            }
+        }
+    }
+}
+
+fn prior_had_hmc_is_impossible() -> bool {
+    // The staging above never fills the HMC, so NC-read must not have
+    // allocated one.
+    false
+}
