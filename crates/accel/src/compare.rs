@@ -71,7 +71,10 @@ pub fn compare_pages(a: &[u8], b: &[u8]) -> PageCompare {
     assert_eq!(a.len(), b.len(), "page comparison requires equal lengths");
     match a.iter().zip(b).position(|(x, y)| x != y) {
         None => PageCompare::Identical,
-        Some(index) => PageCompare::DiffersAt { index, ordering: a[index].cmp(&b[index]) },
+        Some(index) => PageCompare::DiffersAt {
+            index,
+            ordering: a[index].cmp(&b[index]),
+        },
     }
 }
 
@@ -95,12 +98,21 @@ mod tests {
         b[0] = 9;
         assert_eq!(
             compare_pages(&a, &b),
-            PageCompare::DiffersAt { index: 0, ordering: Ordering::Less }
+            PageCompare::DiffersAt {
+                index: 0,
+                ordering: Ordering::Less
+            }
         );
         let mut c = a.clone();
         c[127] = 1;
         let r = compare_pages(&c, &a);
-        assert_eq!(r, PageCompare::DiffersAt { index: 127, ordering: Ordering::Greater });
+        assert_eq!(
+            r,
+            PageCompare::DiffersAt {
+                index: 127,
+                ordering: Ordering::Greater
+            }
+        );
         assert_eq!(r.bytes_examined(128), 128);
     }
 

@@ -117,12 +117,20 @@ mod tests {
         let fpga = Engine::FpgaIp.execution_time(Function::Compress, PAGE);
         let hostv = Engine::HostCpu.execution_time(Function::Compress, PAGE);
         let speedup = hostv.as_nanos_f64() / fpga.as_nanos_f64();
-        assert!((1.8..=2.8).contains(&speedup), "FPGA compress speedup {speedup}");
+        assert!(
+            (1.8..=2.8).contains(&speedup),
+            "FPGA compress speedup {speedup}"
+        );
     }
 
     #[test]
     fn arm_is_slowest_engine() {
-        for f in [Function::Compress, Function::Decompress, Function::Checksum, Function::Compare] {
+        for f in [
+            Function::Compress,
+            Function::Decompress,
+            Function::Checksum,
+            Function::Compare,
+        ] {
             let arm = Engine::ArmCore.execution_time(f, PAGE);
             assert!(arm > Engine::HostCpu.execution_time(f, PAGE));
             assert!(arm > Engine::FpgaIp.execution_time(f, PAGE));
@@ -147,7 +155,10 @@ mod tests {
         for chunks in [1, 4, 64] {
             let p = pipeline_time(&stages, chunks);
             assert!(p <= serial, "pipelining never slower than serial");
-            assert!(p >= *stages.iter().max().unwrap(), "bottleneck is a lower bound");
+            assert!(
+                p >= *stages.iter().max().unwrap(),
+                "bottleneck is a lower bound"
+            );
         }
         // One chunk = fully serial.
         assert_eq!(pipeline_time(&stages, 1), serial);
@@ -159,6 +170,9 @@ mod tests {
         let p = pipeline_time(&stages, 4096);
         let bottleneck = Duration::from_micros(3);
         let slack = p.as_nanos_f64() / bottleneck.as_nanos_f64();
-        assert!(slack < 1.01, "deep pipeline within 1% of bottleneck: {slack}");
+        assert!(
+            slack < 1.01,
+            "deep pipeline within 1% of bottleneck: {slack}"
+        );
     }
 }

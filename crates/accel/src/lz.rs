@@ -41,7 +41,10 @@ impl fmt::Display for DecompressError {
         match self {
             DecompressError::Truncated => f.write_str("compressed block truncated"),
             DecompressError::BadOffset { offset, position } => {
-                write!(f, "match offset {offset} exceeds output position {position}")
+                write!(
+                    f,
+                    "match offset {offset} exceeds output position {position}"
+                )
             }
             DecompressError::OutputOverflow => f.write_str("output exceeds declared size"),
         }
@@ -180,7 +183,10 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, Decompre
         pos += 2;
         let match_len = MIN_MATCH + read_length(input, &mut pos, (token & 0x0F) as usize)?;
         if offset == 0 || offset > out.len() {
-            return Err(DecompressError::BadOffset { offset, position: out.len() });
+            return Err(DecompressError::BadOffset {
+                offset,
+                position: out.len(),
+            });
         }
         if out.len() + match_len > expected_len {
             return Err(DecompressError::OutputOverflow);
@@ -206,7 +212,10 @@ pub struct CompressedPage {
 impl CompressedPage {
     /// Compresses a page.
     pub fn from_page(page: &[u8]) -> Self {
-        CompressedPage { data: compress(page), original_len: page.len() }
+        CompressedPage {
+            data: compress(page),
+            original_len: page.len(),
+        }
     }
 
     /// Compressed size in bytes.
@@ -343,7 +352,10 @@ mod tests {
         let c = compress(&vec![9u8; 4096]);
         for cut in 1..c.len().min(8) {
             let r = decompress(&c[..c.len() - cut], 4096);
-            assert!(r.is_err() || r.unwrap().len() < 4096, "truncation must not roundtrip");
+            assert!(
+                r.is_err() || r.unwrap().len() < 4096,
+                "truncation must not roundtrip"
+            );
         }
         assert_eq!(decompress(&[], 10), Err(DecompressError::Truncated));
     }
@@ -353,7 +365,10 @@ mod tests {
         // token: 0 literals, match len 4, offset 5 with empty output.
         let bogus = [0x00u8, 0x05, 0x00, 0x10];
         match decompress(&bogus, 100) {
-            Err(DecompressError::BadOffset { offset: 5, position: 0 }) => {}
+            Err(DecompressError::BadOffset {
+                offset: 5,
+                position: 0,
+            }) => {}
             other => panic!("expected BadOffset, got {other:?}"),
         }
     }

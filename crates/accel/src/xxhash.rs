@@ -43,7 +43,10 @@ pub fn xxh32(data: &[u8], seed: u32) -> u32 {
         while i + 16 <= n {
             for (lane, a) in acc.iter_mut().enumerate() {
                 let v = read_u32(data, i + 4 * lane);
-                *a = a.wrapping_add(v.wrapping_mul(P32_2)).rotate_left(13).wrapping_mul(P32_1);
+                *a = a
+                    .wrapping_add(v.wrapping_mul(P32_2))
+                    .rotate_left(13)
+                    .wrapping_mul(P32_1);
             }
             i += 16;
         }
@@ -57,11 +60,15 @@ pub fn xxh32(data: &[u8], seed: u32) -> u32 {
     }
     h = h.wrapping_add(n as u32);
     while i + 4 <= n {
-        h = h.wrapping_add(read_u32(data, i).wrapping_mul(P32_3)).rotate_left(17).wrapping_mul(P32_4);
+        h = h
+            .wrapping_add(read_u32(data, i).wrapping_mul(P32_3))
+            .rotate_left(17)
+            .wrapping_mul(P32_4);
         i += 4;
     }
     while i < n {
-        h = h.wrapping_add(u32::from(data[i]).wrapping_mul(P32_5))
+        h = h
+            .wrapping_add(u32::from(data[i]).wrapping_mul(P32_5))
             .rotate_left(11)
             .wrapping_mul(P32_1);
         i += 1;
@@ -81,11 +88,15 @@ const P64_4: u64 = 9_650_029_242_287_828_579;
 const P64_5: u64 = 2_870_177_450_012_600_261;
 
 fn round64(acc: u64, lane: u64) -> u64 {
-    acc.wrapping_add(lane.wrapping_mul(P64_2)).rotate_left(31).wrapping_mul(P64_1)
+    acc.wrapping_add(lane.wrapping_mul(P64_2))
+        .rotate_left(31)
+        .wrapping_mul(P64_1)
 }
 
 fn merge64(h: u64, acc: u64) -> u64 {
-    (h ^ round64(0, acc)).wrapping_mul(P64_1).wrapping_add(P64_4)
+    (h ^ round64(0, acc))
+        .wrapping_mul(P64_1)
+        .wrapping_add(P64_4)
 }
 
 /// Computes the 64-bit xxHash of `data` with `seed`.
@@ -113,7 +124,8 @@ pub fn xxh64(data: &[u8], seed: u64) -> u64 {
             d = round64(d, read_u64(data, i + 24));
             i += 32;
         }
-        h = a.rotate_left(1)
+        h = a
+            .rotate_left(1)
             .wrapping_add(b.rotate_left(7))
             .wrapping_add(c.rotate_left(12))
             .wrapping_add(d.rotate_left(18));
@@ -126,7 +138,10 @@ pub fn xxh64(data: &[u8], seed: u64) -> u64 {
     }
     h = h.wrapping_add(n as u64);
     while i + 8 <= n {
-        h = (h ^ round64(0, read_u64(data, i))).rotate_left(27).wrapping_mul(P64_1).wrapping_add(P64_4);
+        h = (h ^ round64(0, read_u64(data, i)))
+            .rotate_left(27)
+            .wrapping_mul(P64_1)
+            .wrapping_add(P64_4);
         i += 8;
     }
     if i + 4 <= n {
@@ -137,7 +152,9 @@ pub fn xxh64(data: &[u8], seed: u64) -> u64 {
         i += 4;
     }
     while i < n {
-        h = (h ^ u64::from(data[i]).wrapping_mul(P64_5)).rotate_left(11).wrapping_mul(P64_1);
+        h = (h ^ u64::from(data[i]).wrapping_mul(P64_5))
+            .rotate_left(11)
+            .wrapping_mul(P64_1);
         i += 1;
     }
     h ^= h >> 33;

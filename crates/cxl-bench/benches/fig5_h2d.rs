@@ -17,7 +17,11 @@ fn bench(c: &mut Criterion) {
     for (name, t3) in [("h2d_load_t2", false), ("h2d_load_t3", true)] {
         g.bench_function(name, |b| {
             let mut host = Socket::xeon_6538y();
-            let mut dev = if t3 { CxlDevice::agilex7_type3() } else { CxlDevice::agilex7() };
+            let mut dev = if t3 {
+                CxlDevice::agilex7_type3()
+            } else {
+                CxlDevice::agilex7()
+            };
             let mut t = Time::ZERO;
             let mut i = 0u64;
             b.iter(|| {

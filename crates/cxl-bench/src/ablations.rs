@@ -21,7 +21,9 @@ pub fn writequeue_sweep() -> Vec<(usize, f64)> {
         let mut host = Socket::xeon_6538y();
         let mut dev = CxlDevice::agilex7();
         // Stride 2 keeps every line on device channel 0.
-        let addrs: Vec<_> = (0..n).map(|i| device_line((1 << 16) | (i as u64 * 2))).collect();
+        let addrs: Vec<_> = (0..n)
+            .map(|i| device_line((1 << 16) | (i as u64 * 2)))
+            .collect();
         let t = dev.enter_device_bias(addrs[0], 2 * n as u64, Time::ZERO, &mut host);
         let r = Lsu::new().burst(
             &mut dev,
@@ -198,7 +200,11 @@ pub fn load_sweep() -> Vec<(f64, f64, f64)> {
         let cpu = run_zswap(&cfg, YcsbWorkload::B, BackendKind::Cpu);
         let cxl = run_zswap(&cfg, YcsbWorkload::B, BackendKind::Cxl);
         let b = base.p99.as_nanos_f64();
-        out.push((1e6 / inter_us as f64, cpu.p99.as_nanos_f64() / b, cxl.p99.as_nanos_f64() / b));
+        out.push((
+            1e6 / inter_us as f64,
+            cpu.p99.as_nanos_f64() / b,
+            cxl.p99.as_nanos_f64() / b,
+        ));
     }
     out
 }
@@ -275,7 +281,10 @@ mod tests {
     fn ncp_prefetch_monotonically_helps() {
         let sweep = ncp_prefetch_sweep();
         for w in sweep.windows(2) {
-            assert!(w[1].1 <= w[0].1 * 1.02, "more prefetch should not hurt: {sweep:?}");
+            assert!(
+                w[1].1 <= w[0].1 * 1.02,
+                "more prefetch should not hurt: {sweep:?}"
+            );
         }
         let none = sweep.first().unwrap().1;
         let full = sweep.last().unwrap().1;
@@ -334,10 +343,16 @@ mod tests {
         }
         let one = sweep.first().unwrap().1;
         let eight = sweep.last().unwrap().1;
-        assert!(eight > 2.0 * one, "multi-LSU scaling: {one} -> {eight} GB/s");
+        assert!(
+            eight > 2.0 * one,
+            "multi-LSU scaling: {one} -> {eight} GB/s"
+        );
         // §V-A projects ~90% of the interconnect max; the link model
         // carries 56 GB/s, so saturation should land in the 40s.
-        assert!(eight > 40.0, "8 LSUs approach the interconnect: {eight} GB/s");
+        assert!(
+            eight > 40.0,
+            "8 LSUs approach the interconnect: {eight} GB/s"
+        );
     }
 
     #[test]
@@ -345,6 +360,9 @@ mod tests {
         let sweep = hmc_capacity_sweep();
         let fits = sweep.iter().find(|(k, _)| *k == 64).unwrap().1;
         let spills = sweep.iter().find(|(k, _)| *k == 512).unwrap().1;
-        assert!(spills > 3.0 * fits, "64KiB set {fits} ns vs 512KiB set {spills} ns");
+        assert!(
+            spills > 3.0 * fits,
+            "64KiB set {fits} ns vs 512KiB set {spills} ns"
+        );
     }
 }

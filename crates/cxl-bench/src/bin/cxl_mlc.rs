@@ -46,27 +46,49 @@ fn main() {
 
     // Host core -> remote socket DRAM over UPI (the emulated-CXL path).
     let mut numa = NumaSystem::xeon_dual_socket();
-    let lat = median(reps, |i, t| numa.remote_load(host_line(9000 + i * 7), t).completion);
-    println!("{:<44} {:>10.1}", "host ld -> remote DRAM (UPI / emulated CXL)", lat);
+    let lat = median(reps, |i, t| {
+        numa.remote_load(host_line(9000 + i * 7), t).completion
+    });
+    println!(
+        "{:<44} {:>10.1}",
+        "host ld -> remote DRAM (UPI / emulated CXL)", lat
+    );
 
     // Host core -> CXL Type-2 device memory.
     let mut s = Socket::xeon_6538y();
     let mut t2 = CxlDevice::agilex7();
-    let lat = median(reps, |i, t| t2.h2d_load(device_line(100 + i), t, &mut s).completion);
-    println!("{:<44} {:>10.1}", "host ld -> CXL T2 device DRAM (H2D)", lat);
+    let lat = median(reps, |i, t| {
+        t2.h2d_load(device_line(100 + i), t, &mut s).completion
+    });
+    println!(
+        "{:<44} {:>10.1}",
+        "host ld -> CXL T2 device DRAM (H2D)", lat
+    );
 
     // Host core -> CXL Type-3 device memory.
     let mut s = Socket::xeon_6538y();
     let mut t3 = CxlDevice::agilex7_type3();
-    let lat = median(reps, |i, t| t3.h2d_load(device_line(100 + i), t, &mut s).completion);
-    println!("{:<44} {:>10.1}", "host ld -> CXL T3 device DRAM (H2D)", lat);
+    let lat = median(reps, |i, t| {
+        t3.h2d_load(device_line(100 + i), t, &mut s).completion
+    });
+    println!(
+        "{:<44} {:>10.1}",
+        "host ld -> CXL T3 device DRAM (H2D)", lat
+    );
 
     // Device ACC -> host DRAM / LLC (D2H).
     let mut s = Socket::xeon_6538y();
     let mut dev = CxlDevice::agilex7();
     let lsu = Lsu::new();
     let lat = median(reps, |i, t| {
-        lsu.single(&mut dev, &mut s, RequestType::NC_RD, BurstTarget::HostMemory, host_line(20_000 + i * 7), t)
+        lsu.single(
+            &mut dev,
+            &mut s,
+            RequestType::NC_RD,
+            BurstTarget::HostMemory,
+            host_line(20_000 + i * 7),
+            t,
+        )
     });
     println!("{:<44} {:>10.1}", "device NC-rd -> host DRAM (D2H)", lat);
 
@@ -76,7 +98,14 @@ fn main() {
         let a = host_line(30_000 + i);
         s.load(a, t);
         let t1 = s.cldemote(a, t);
-        lsu.single(&mut dev, &mut s, RequestType::CS_RD, BurstTarget::HostMemory, a, t1)
+        lsu.single(
+            &mut dev,
+            &mut s,
+            RequestType::CS_RD,
+            BurstTarget::HostMemory,
+            a,
+            t1,
+        )
     });
     println!("{:<44} {:>10.1}", "device CS-rd -> host LLC (D2H)", lat);
 
@@ -84,9 +113,19 @@ fn main() {
     let mut s = Socket::xeon_6538y();
     let mut dev = CxlDevice::agilex7();
     let lat = median(reps, |i, t| {
-        lsu.single(&mut dev, &mut s, RequestType::CS_RD, BurstTarget::DeviceMemory, device_line(40_000 + i), t)
+        lsu.single(
+            &mut dev,
+            &mut s,
+            RequestType::CS_RD,
+            BurstTarget::DeviceMemory,
+            device_line(40_000 + i),
+            t,
+        )
     });
-    println!("{:<44} {:>10.1}", "device CS-rd -> device DRAM (host-bias)", lat);
+    println!(
+        "{:<44} {:>10.1}",
+        "device CS-rd -> device DRAM (host-bias)", lat
+    );
 
     let mut s = Socket::xeon_6538y();
     let mut dev = CxlDevice::agilex7();
@@ -94,11 +133,22 @@ fn main() {
     let mut s2 = Samples::new();
     let mut t = t0;
     for i in 0..reps as u64 {
-        let done = lsu.single(&mut dev, &mut s, RequestType::CS_RD, BurstTarget::DeviceMemory, device_line(50_000 + i), t);
+        let done = lsu.single(
+            &mut dev,
+            &mut s,
+            RequestType::CS_RD,
+            BurstTarget::DeviceMemory,
+            device_line(50_000 + i),
+            t,
+        );
         s2.record(done.duration_since(t).as_nanos_f64());
         t = done;
     }
-    println!("{:<44} {:>10.1}", "device CS-rd -> device DRAM (device-bias)", s2.median());
+    println!(
+        "{:<44} {:>10.1}",
+        "device CS-rd -> device DRAM (device-bias)",
+        s2.median()
+    );
 
     println!("\nSequential-vs-random check (the paper's methodology note):");
     for (name, stride) in [("sequential", 1u64), ("random-ish", 97u64)] {

@@ -1,5 +1,10 @@
 //! Runs the design-choice ablation sweeps.
+//! Accepts `--trace-out <path>` to export the run's protocol trace.
+
+use cxl_bench::traceopt::TraceOut;
 
 fn main() {
+    let (_args, trace_out) = TraceOut::from_env();
     cxl_bench::ablations::print_ablations();
+    trace_out.finish();
 }

@@ -1,10 +1,13 @@
 //! Runs every experiment in paper order (the one-shot artifact run).
 //! Figures use a reduced repetition count; Fig. 8 uses the quick config.
+//! Accepts `--trace-out <path>` to export the run's protocol trace.
 
 use cxl_bench::fig6::Direction;
 use cxl_bench::fig8run::Feature;
+use cxl_bench::traceopt::TraceOut;
 
 fn main() {
+    let (_args, trace_out) = TraceOut::from_env();
     cxl_bench::tables::print_table1();
     println!();
     cxl_bench::tables::print_table2();
@@ -17,9 +20,15 @@ fn main() {
     println!();
     cxl_bench::fig5::print_fig5(&cxl_bench::fig5::run_fig5(200, 42));
     println!();
-    cxl_bench::fig6::print_fig6(&cxl_bench::fig6::run_fig6(Direction::H2d, true), "H2D writes");
+    cxl_bench::fig6::print_fig6(
+        &cxl_bench::fig6::run_fig6(Direction::H2d, true),
+        "H2D writes",
+    );
     println!();
-    cxl_bench::fig6::print_fig6(&cxl_bench::fig6::run_fig6(Direction::D2h, false), "D2H reads");
+    cxl_bench::fig6::print_fig6(
+        &cxl_bench::fig6::run_fig6(Direction::D2h, false),
+        "D2H reads",
+    );
     println!();
     cxl_bench::tables::print_table4(&cxl_bench::tables::run_table4(42));
     println!();
@@ -31,4 +40,5 @@ fn main() {
     cxl_bench::fig8run::print_fig8(&ksm, Feature::Ksm);
     println!();
     cxl_bench::ablations::print_ablations();
+    trace_out.finish();
 }

@@ -1,11 +1,16 @@
 //! Regenerates Fig. 4 (D2D latency/bandwidth, host- vs device-bias).
+//! Accepts `--trace-out <path>` to export the run's protocol trace.
+
+use cxl_bench::traceopt::TraceOut;
 
 fn main() {
-    let reps = std::env::args()
-        .nth(1)
+    let (args, trace_out) = TraceOut::from_env();
+    let reps = args
+        .first()
         .and_then(|s| s.parse().ok())
         .filter(|&r| r > 0)
         .unwrap_or(1000);
     let rows = cxl_bench::fig4::run_fig4(reps, 42);
     cxl_bench::fig4::print_fig4(&rows);
+    trace_out.finish();
 }

@@ -1,11 +1,16 @@
 //! Regenerates Fig. 5 (H2D latency/bandwidth, T2 vs T3, DMC states, NC-P).
+//! Accepts `--trace-out <path>` to export the run's protocol trace.
+
+use cxl_bench::traceopt::TraceOut;
 
 fn main() {
-    let reps = std::env::args()
-        .nth(1)
+    let (args, trace_out) = TraceOut::from_env();
+    let reps = args
+        .first()
         .and_then(|s| s.parse().ok())
         .filter(|&r| r > 0)
         .unwrap_or(1000);
     let rows = cxl_bench::fig5::run_fig5(reps, 42);
     cxl_bench::fig5::print_fig5(&rows);
+    trace_out.finish();
 }

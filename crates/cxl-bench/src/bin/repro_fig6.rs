@@ -1,8 +1,11 @@
 //! Regenerates Fig. 6 (transfer efficiency: CXL vs PCIe, both directions).
+//! Accepts `--trace-out <path>` to export the run's protocol trace.
 
 use cxl_bench::fig6::{print_fig6, run_fig6, Direction};
+use cxl_bench::traceopt::TraceOut;
 
 fn main() {
+    let (_args, trace_out) = TraceOut::from_env();
     print_fig6(&run_fig6(Direction::H2d, true), "H2D writes");
     println!();
     print_fig6(&run_fig6(Direction::H2d, false), "H2D reads");
@@ -10,4 +13,5 @@ fn main() {
     print_fig6(&run_fig6(Direction::D2h, false), "D2H reads");
     println!();
     print_fig6(&run_fig6(Direction::D2h, true), "D2H writes");
+    trace_out.finish();
 }

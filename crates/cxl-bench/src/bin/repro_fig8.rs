@@ -1,15 +1,23 @@
 //! Regenerates Fig. 8 (Redis/YCSB p99 under zswap and ksm, all backends).
 //!
 //! Pass `--quick` for the reduced configuration; the default runs a
-//! 400 ms virtual experiment per cell and takes a few minutes.
+//! 400 ms virtual experiment per cell and takes a few minutes. Accepts
+//! `--trace-out <path>` to export the run's protocol trace (the ring
+//! keeps the newest window of a long run).
 
 use cxl_bench::fig8run::{print_fig8, run_fig8, Feature};
+use cxl_bench::traceopt::TraceOut;
 use kvs::fig8::Fig8Config;
 use sim_core::time::Duration;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut cfg = if quick { Fig8Config::smoke() } else { Fig8Config::default() };
+    let (args, trace_out) = TraceOut::from_env();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut cfg = if quick {
+        Fig8Config::smoke()
+    } else {
+        Fig8Config::default()
+    };
     if !quick {
         cfg.duration = Duration::from_millis(400);
     }
@@ -18,4 +26,5 @@ fn main() {
     println!();
     let ksm = run_fig8(&cfg, Feature::Ksm);
     print_fig8(&ksm, Feature::Ksm);
+    trace_out.finish();
 }

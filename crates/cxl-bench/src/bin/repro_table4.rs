@@ -1,6 +1,11 @@
 //! Regenerates Table IV (zswap compression offload latency breakdown).
+//! Accepts `--trace-out <path>` to export the run's protocol trace.
+
+use cxl_bench::traceopt::TraceOut;
 
 fn main() {
+    let (_args, trace_out) = TraceOut::from_env();
     let rows = cxl_bench::tables::run_table4(42);
     cxl_bench::tables::print_table4(&rows);
+    trace_out.finish();
 }

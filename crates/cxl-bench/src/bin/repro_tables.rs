@@ -1,12 +1,15 @@
 //! Regenerates Tables I–III (pass `table1`, `table2`, `table3`, or no
-//! argument for all).
+//! argument for all). Accepts `--trace-out <path>` to export the run's
+//! protocol trace as JSON lines.
 
 use cxl_bench::tables;
+use cxl_bench::traceopt::TraceOut;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_default();
+    let (args, trace_out) = TraceOut::from_env();
+    let which = args.first().cloned().unwrap_or_default();
     if !which.is_empty() && !matches!(which.as_str(), "table1" | "table2" | "table3") {
-        eprintln!("usage: repro_tables [table1|table2|table3]");
+        eprintln!("usage: repro_tables [table1|table2|table3] [--trace-out <path>]");
         std::process::exit(2);
     }
     if which.is_empty() || which == "table1" {
@@ -20,4 +23,5 @@ fn main() {
     if which.is_empty() || which == "table3" {
         tables::print_table3(&tables::run_table3());
     }
+    trace_out.finish();
 }

@@ -99,8 +99,14 @@ pub fn run_fig3(reps: usize, seed: u64) -> Vec<Fig3Row> {
                 }
                 dev.flush_device_caches(t, &mut host);
                 // Latency: one isolated access.
-                let single =
-                    lsu.single(&mut dev, &mut host, req, BurstTarget::HostMemory, addrs[0], t);
+                let single = lsu.single(
+                    &mut dev,
+                    &mut host,
+                    req,
+                    BurstTarget::HostMemory,
+                    addrs[0],
+                    t,
+                );
                 lat.record(single.duration_since(t).as_nanos_f64());
                 t = single;
                 // Re-stage the first line for the burst if needed.
@@ -109,8 +115,7 @@ pub fn run_fig3(reps: usize, seed: u64) -> Vec<Fig3Row> {
                     dev.flush_device_caches(t, &mut host);
                 }
                 // Bandwidth: 16-access pipelined burst.
-                let burst =
-                    lsu.burst(&mut dev, &mut host, req, BurstTarget::HostMemory, &addrs, t);
+                let burst = lsu.burst(&mut dev, &mut host, req, BurstTarget::HostMemory, &addrs, t);
                 bw.record(burst.bandwidth_gbps(64));
                 t = burst.last_completion;
             }
@@ -237,8 +242,14 @@ mod tests {
             );
         }
         // Writes beat reads in burst bandwidth (write-queue absorption).
-        let nc_wr = rows.iter().find(|r| r.request == "NC-wr" && !r.llc_hit).unwrap();
-        let nc_rd = rows.iter().find(|r| r.request == "NC-rd" && !r.llc_hit).unwrap();
+        let nc_wr = rows
+            .iter()
+            .find(|r| r.request == "NC-wr" && !r.llc_hit)
+            .unwrap();
+        let nc_rd = rows
+            .iter()
+            .find(|r| r.request == "NC-rd" && !r.llc_hit)
+            .unwrap();
         assert!(nc_wr.cxl_bw_gbps > nc_rd.cxl_bw_gbps);
     }
 

@@ -36,7 +36,12 @@ const BURST: usize = 16;
 
 /// The request types Fig. 4 plots.
 pub fn fig4_requests() -> Vec<RequestType> {
-    vec![RequestType::NC_RD, RequestType::CS_RD, RequestType::NC_WR, RequestType::CO_WR]
+    vec![
+        RequestType::NC_RD,
+        RequestType::CS_RD,
+        RequestType::NC_WR,
+        RequestType::CO_WR,
+    ]
 }
 
 fn measure_bias(
@@ -73,13 +78,27 @@ fn measure_bias(
         } else {
             dev.flush_device_caches(t, &mut host);
         }
-        let single = lsu.single(&mut dev, &mut host, req, BurstTarget::DeviceMemory, addrs[0], t);
+        let single = lsu.single(
+            &mut dev,
+            &mut host,
+            req,
+            BurstTarget::DeviceMemory,
+            addrs[0],
+            t,
+        );
         lat.record(single.duration_since(t).as_nanos_f64());
         t = single;
         if dmc_hit {
             dev.stage_dmc(addrs[0], MesiState::Shared);
         }
-        let burst = lsu.burst(&mut dev, &mut host, req, BurstTarget::DeviceMemory, &addrs, t);
+        let burst = lsu.burst(
+            &mut dev,
+            &mut host,
+            req,
+            BurstTarget::DeviceMemory,
+            &addrs,
+            t,
+        );
         bw.record(burst.bandwidth_gbps(64));
         t = burst.last_completion;
     }
@@ -178,21 +197,33 @@ mod tests {
         }
         // Writes hitting DMC gain the most from device bias (paper: ~60%
         // lower); shared-read hits gain little.
-        let co_wr_hit = rows.iter().find(|r| r.request == "CO-wr" && r.dmc_hit).unwrap();
-        let cs_rd_hit = rows.iter().find(|r| r.request == "CS-rd" && r.dmc_hit).unwrap();
+        let co_wr_hit = rows
+            .iter()
+            .find(|r| r.request == "CO-wr" && r.dmc_hit)
+            .unwrap();
+        let cs_rd_hit = rows
+            .iter()
+            .find(|r| r.request == "CS-rd" && r.dmc_hit)
+            .unwrap();
         let co_gain = 1.0 - co_wr_hit.device_bias_latency_ns / co_wr_hit.host_bias_latency_ns;
         let cs_gain = 1.0 - cs_rd_hit.device_bias_latency_ns / cs_rd_hit.host_bias_latency_ns;
         assert!(co_gain > 0.3, "CO-wr DMC-1 device-bias gain {co_gain}");
         assert!(cs_gain < 0.1, "CS-rd DMC-1 gain should be small: {cs_gain}");
         // Reads missing DMC are slower in host bias (LLC check first).
-        let cs_rd_miss = rows.iter().find(|r| r.request == "CS-rd" && !r.dmc_hit).unwrap();
+        let cs_rd_miss = rows
+            .iter()
+            .find(|r| r.request == "CS-rd" && !r.dmc_hit)
+            .unwrap();
         assert!(cs_rd_miss.host_bias_latency_ns > cs_rd_miss.device_bias_latency_ns);
     }
 
     #[test]
     fn emulated_l1_hits_are_fastest() {
         let rows = run_fig4(20, 13);
-        let hit = rows.iter().find(|r| r.request == "CS-rd" && r.dmc_hit).unwrap();
+        let hit = rows
+            .iter()
+            .find(|r| r.request == "CS-rd" && r.dmc_hit)
+            .unwrap();
         // Host frequency is 5.5× the FPGA's: emulated D2D hits beat DMC
         // hits in host-bias mode (§V-B).
         assert!(hit.emulated_latency_ns < hit.host_bias_latency_ns);

@@ -143,7 +143,13 @@ fn stage(
     t
 }
 
-fn access(op: H2dOp, dev: &mut CxlDevice, host: &mut Socket, a: mem_subsys::line::LineAddr, t: Time) -> Time {
+fn access(
+    op: H2dOp,
+    dev: &mut CxlDevice,
+    host: &mut Socket,
+    a: mem_subsys::line::LineAddr,
+    t: Time,
+) -> Time {
     match op {
         H2dOp::Ld => dev.h2d_load(a, t, host).completion,
         H2dOp::NtLd => dev.h2d_nt_load(a, t, host).completion,
@@ -206,7 +212,10 @@ pub fn run_fig5(reps: usize, seed: u64) -> Vec<Fig5Row> {
 /// Prints the Fig. 5 table.
 pub fn print_fig5(rows: &[Fig5Row]) {
     println!("Fig. 5 — H2D latency (ns) and bandwidth (GB/s): T2 vs T3, DMC states, NC-P");
-    println!("{:<6} {:<14} | {:>10} {:>8} | {:>9}", "op", "case", "latency", "±std", "bw");
+    println!(
+        "{:<6} {:<14} | {:>10} {:>8} | {:>9}",
+        "op", "case", "latency", "±std", "bw"
+    );
     for r in rows {
         println!(
             "{:<6} {:<14} | {:>10.1} {:>8.1} | {:>9.2}",
@@ -224,7 +233,9 @@ mod tests {
     use super::*;
 
     fn find(rows: &[Fig5Row], op: H2dOp, case: H2dCase) -> &Fig5Row {
-        rows.iter().find(|r| r.op == op && r.case == case).expect("row exists")
+        rows.iter()
+            .find(|r| r.op == op && r.case == case)
+            .expect("row exists")
     }
 
     #[test]
@@ -273,9 +284,15 @@ mod tests {
         let ld_miss = find(&rows, H2dOp::Ld, H2dCase::T2DmcMiss);
         let reduction = 1.0 - ld_pre.latency_ns / ld_miss.latency_ns;
         assert!(reduction > 0.5, "NC-P latency reduction {reduction}");
-        assert!(ld_pre.bw_gbps > 2.0 * ld_miss.bw_gbps, "NC-P bandwidth gain");
+        assert!(
+            ld_pre.bw_gbps > 2.0 * ld_miss.bw_gbps,
+            "NC-P bandwidth gain"
+        );
         // nt-st completes at the controller: far higher bandwidth than ld.
         let ntst = find(&rows, H2dOp::NtSt, H2dCase::T2DmcMiss);
-        assert!(ntst.bw_gbps > 4.0 * ld_miss.bw_gbps, "nt-st posted-write bandwidth");
+        assert!(
+            ntst.bw_gbps > 4.0 * ld_miss.bw_gbps,
+            "nt-st posted-write bandwidth"
+        );
     }
 }

@@ -3,9 +3,7 @@
 
 use cxl_type2::addr::{device_line, host_line};
 use cxl_type2::device::CxlDevice;
-use cxl_type2::transfer::{
-    d2h_push_bytes, d2h_read_bytes, h2d_load_bytes, h2d_store_bytes,
-};
+use cxl_type2::transfer::{d2h_push_bytes, d2h_read_bytes, h2d_load_bytes, h2d_store_bytes};
 use host::dsa::DsaEngine;
 use host::socket::Socket;
 use pcie::dma::{CompletionModel, PcieDma};
@@ -89,15 +87,19 @@ pub struct Fig6Point {
 
 /// The size sweep of Fig. 6.
 pub fn fig6_sizes() -> Vec<u64> {
-    vec![64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20]
+    vec![
+        64,
+        256,
+        1 << 10,
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+    ]
 }
 
-fn one_transfer(
-    dir: Direction,
-    write: bool,
-    mech: Mechanism,
-    bytes: u64,
-) -> Option<f64> {
+fn one_transfer(dir: Direction, write: bool, mech: Mechanism, bytes: u64) -> Option<f64> {
     if !mech.applies(dir) {
         return None;
     }
@@ -190,8 +192,7 @@ pub fn print_fig6(points: &[Fig6Point], title: &str) {
     }
     println!();
     for mech in Mechanism::ALL {
-        let series: Vec<&Fig6Point> =
-            points.iter().filter(|p| p.mechanism == mech).collect();
+        let series: Vec<&Fig6Point> = points.iter().filter(|p| p.mechanism == mech).collect();
         if series.is_empty() {
             continue;
         }
@@ -246,7 +247,11 @@ mod tests {
         // §V-D: CXL-ST ≥70% lower than PCIe-DMA at 256B.
         let cxl256 = point(&pts, Mechanism::CxlLdSt, 256);
         let dma256 = point(&pts, Mechanism::PcieDma, 256);
-        assert!(cxl256 / dma256 < 0.45, "CXL-ST/PCIe-DMA at 256B = {}", cxl256 / dma256);
+        assert!(
+            cxl256 / dma256 < 0.45,
+            "CXL-ST/PCIe-DMA at 256B = {}",
+            cxl256 / dma256
+        );
     }
 
     #[test]
@@ -290,7 +295,10 @@ mod tests {
         for bytes in [256, 4096] {
             let mmio = point(&rd, Mechanism::PcieMmio, bytes);
             for mech in [Mechanism::PcieDma, Mechanism::PcieRdma, Mechanism::CxlLdSt] {
-                assert!(mmio > point(&rd, mech, bytes), "{bytes}: MMIO should be slowest");
+                assert!(
+                    mmio > point(&rd, mech, bytes),
+                    "{bytes}: MMIO should be slowest"
+                );
             }
         }
     }
@@ -302,6 +310,10 @@ mod tests {
             .iter()
             .find(|p| p.mechanism == Mechanism::CxlDsa && p.bytes == 1 << 20)
             .unwrap();
-        assert!(dsa.bw_gbps > 25.0 && dsa.bw_gbps <= 30.5, "DSA bw {}", dsa.bw_gbps);
+        assert!(
+            dsa.bw_gbps > 25.0 && dsa.bw_gbps <= 30.5,
+            "DSA bw {}",
+            dsa.bw_gbps
+        );
     }
 }

@@ -39,7 +39,11 @@ pub fn run_fig8(cfg: &Fig8Config, feature: Feature) -> Vec<Fig8Cell> {
         let base = runner(BackendKind::None);
         let base_p99 = base.p99.as_micros_f64();
         for backend in BackendKind::ALL {
-            let r = if backend == BackendKind::None { base.clone() } else { runner(backend) };
+            let r = if backend == BackendKind::None {
+                base.clone()
+            } else {
+                runner(backend)
+            };
             cells.push(Fig8Cell {
                 workload,
                 backend,

@@ -27,4 +27,6 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig8run;
+pub mod golden;
 pub mod tables;
+pub mod traceopt;

@@ -2,21 +2,25 @@
 
 use accel::lz::CompressedPage;
 use cxl_proto::device_type::DeviceType;
+use cxl_proto::request::RequestType;
 use cxl_type2::addr::host_line;
 use cxl_type2::device::CxlDevice;
-use cxl_proto::request::RequestType;
 use host::config::{device_spec, system_spec};
 use host::socket::Socket;
 use kernel::offload::{CxlBackend, OffloadBackend, PcieDmaBackend, PcieRdmaBackend};
 use kernel::page::PageContent;
 use mem_subsys::coherence::MesiState;
+use mem_subsys::line::LineAddr;
 use sim_core::rng::SimRng;
 use sim_core::time::Time;
 
 /// Prints Table I (device types, protocols, operations, applications).
 pub fn print_table1() {
     println!("Table I — CXL device types");
-    println!("{:<8} {:<22} {:<40} Primary application", "Device", "Protocols", "Description");
+    println!(
+        "{:<8} {:<22} {:<40} Primary application",
+        "Device", "Protocols", "Description"
+    );
     for t in DeviceType::ALL {
         let protos: Vec<String> = t.protocols().iter().map(|p| p.to_string()).collect();
         println!(
@@ -54,31 +58,40 @@ fn state_str(s: Option<MesiState>) -> String {
     s.map(|m| m.to_string()).unwrap_or_else(|| "I".to_string())
 }
 
+/// The three staged cases of Table III, in paper column order.
+pub const TABLE3_CASES: [&str; 3] = ["HMC hit", "LLC hit", "LLC miss"];
+
+/// Stages one Table III case on a fresh host/device pair: the line ends
+/// up Shared in the HMC, Shared in the LLC, or absent everywhere.
+pub(crate) fn stage_table3_case(host: &mut Socket, dev: &mut CxlDevice, a: LineAddr, case: &str) {
+    match case {
+        "HMC hit" => {
+            host.load(a, Time::ZERO);
+            host.cldemote(a, Time::ZERO);
+            host.caches.degrade_to_shared(a);
+            dev.stage_hmc(a, MesiState::Shared, host);
+        }
+        "LLC hit" => {
+            host.load(a, Time::ZERO);
+            host.cldemote(a, Time::ZERO);
+            host.caches.degrade_to_shared(a);
+        }
+        _ => {}
+    }
+}
+
 /// Executes every request type against every staged case and reports the
 /// resulting coherence states — the executable regeneration of Table III.
 pub fn run_table3() -> Vec<Table3Row> {
     let mut rows = Vec::new();
     let mut next = 1u64 << 24;
     for req in RequestType::ALL {
-        for case in ["HMC hit", "LLC hit", "LLC miss"] {
+        for case in TABLE3_CASES {
             let mut host = Socket::xeon_6538y();
             let mut dev = CxlDevice::agilex7();
             next += 64;
             let a = host_line(next);
-            match case {
-                "HMC hit" => {
-                    host.load(a, Time::ZERO);
-                    host.cldemote(a, Time::ZERO);
-                    host.caches.degrade_to_shared(a);
-                    dev.stage_hmc(a, MesiState::Shared, &mut host);
-                }
-                "LLC hit" => {
-                    host.load(a, Time::ZERO);
-                    host.cldemote(a, Time::ZERO);
-                    host.caches.degrade_to_shared(a);
-                }
-                _ => {}
-            }
+            stage_table3_case(&mut host, &mut dev, a, case);
             dev.d2h(req, a, Time::from_nanos(1_000), &mut host);
             rows.push(Table3Row {
                 request: req.to_string(),
@@ -96,7 +109,10 @@ pub fn print_table3(rows: &[Table3Row]) {
     println!("Table III — cache-coherence states after a D2H access (observed)");
     println!("{:<8} {:<10} {:>6} {:>6}", "req", "case", "HMC", "LLC");
     for r in rows {
-        println!("{:<8} {:<10} {:>6} {:>6}", r.request, r.case, r.hmc_after, r.llc_after);
+        println!(
+            "{:<8} {:<10} {:>6} {:>6}",
+            r.request, r.case, r.hmc_after, r.llc_after
+        );
     }
 }
 
@@ -217,12 +233,18 @@ mod tests {
         let rows = run_table3();
         assert_eq!(rows.len(), 18);
         let find = |req: &str, case: &str| {
-            rows.iter().find(|r| r.request == req && r.case == case).expect("row")
+            rows.iter()
+                .find(|r| r.request == req && r.case == case)
+                .expect("row")
         };
         // NC-P: HMC Invalid, LLC Modified (all cases).
         for case in ["HMC hit", "LLC hit", "LLC miss"] {
             let r = find("NC-P", case);
-            assert_eq!((r.hmc_after.as_str(), r.llc_after.as_str()), ("I", "M"), "{case}");
+            assert_eq!(
+                (r.hmc_after.as_str(), r.llc_after.as_str()),
+                ("I", "M"),
+                "{case}"
+            );
         }
         // NC-rd: no change (HMC hit keeps S; LLC hit keeps S; miss stays I).
         assert_eq!(find("NC-rd", "HMC hit").hmc_after, "S");
@@ -231,7 +253,11 @@ mod tests {
         // NC-wr: both Invalid.
         for case in ["HMC hit", "LLC hit", "LLC miss"] {
             let r = find("NC-wr", case);
-            assert_eq!((r.hmc_after.as_str(), r.llc_after.as_str()), ("I", "I"), "{case}");
+            assert_eq!(
+                (r.hmc_after.as_str(), r.llc_after.as_str()),
+                ("I", "I"),
+                "{case}"
+            );
         }
         // CO-rd: S→E on HMC hit; Exclusive on LLC hit (line was Shared)
         // and on miss; LLC Invalid.
@@ -242,7 +268,11 @@ mod tests {
         // CO-wr: HMC Modified, LLC Invalid.
         for case in ["HMC hit", "LLC hit", "LLC miss"] {
             let r = find("CO-wr", case);
-            assert_eq!((r.hmc_after.as_str(), r.llc_after.as_str()), ("M", "I"), "{case}");
+            assert_eq!(
+                (r.hmc_after.as_str(), r.llc_after.as_str()),
+                ("M", "I"),
+                "{case}"
+            );
         }
         // CS-rd: HMC Shared everywhere; LLC unchanged on hit.
         for case in ["HMC hit", "LLC hit", "LLC miss"] {
@@ -254,12 +284,28 @@ mod tests {
     #[test]
     fn table4_ordering_matches_paper() {
         let rows = run_table4(5);
-        let rdma = rows.iter().find(|r| r.backend.starts_with("pcie-rdma")).unwrap();
-        let dma = rows.iter().find(|r| r.backend.starts_with("pcie-dma")).unwrap();
+        let rdma = rows
+            .iter()
+            .find(|r| r.backend.starts_with("pcie-rdma"))
+            .unwrap();
+        let dma = rows
+            .iter()
+            .find(|r| r.backend.starts_with("pcie-dma"))
+            .unwrap();
         let cxl = rows.iter().find(|r| r.backend.starts_with("cxl")).unwrap();
         // Paper: rdma 10.9, dma 6.2, cxl 3.9 (a.u.) — cxl < dma < rdma.
-        assert!(cxl.total_us < dma.total_us, "cxl {} < dma {}", cxl.total_us, dma.total_us);
-        assert!(dma.total_us < rdma.total_us, "dma {} < rdma {}", dma.total_us, rdma.total_us);
+        assert!(
+            cxl.total_us < dma.total_us,
+            "cxl {} < dma {}",
+            cxl.total_us,
+            dma.total_us
+        );
+        assert!(
+            dma.total_us < rdma.total_us,
+            "dma {} < rdma {}",
+            dma.total_us,
+            rdma.total_us
+        );
         // Arm compute dominates the rdma breakdown (paper: 5.5 of 10.9).
         assert!(rdma.compute_us > rdma.transfer_in_us);
         assert!(rdma.compute_us > rdma.transfer_out_us);

@@ -1,0 +1,116 @@
+//! `--trace-out <path>` support shared by the `repro_*` binaries.
+//!
+//! Every repro binary accepts `--trace-out <path>`: when present, a
+//! tracer is installed for the whole run and the captured events are
+//! exported as JSON lines to `<path>` on exit. The flag (and any bare
+//! `--` separators cargo users habitually pass) is stripped before the
+//! binary sees its own arguments, and nothing extra is printed to
+//! stdout, so the reproduced tables/figures are byte-identical with and
+//! without tracing.
+
+use std::path::PathBuf;
+
+use sim_core::trace;
+
+/// Ring capacity for repro runs: large enough that the short figure
+/// drivers keep everything; long Fig. 8 runs keep the newest window.
+const REPRO_RING_CAPACITY: usize = 1 << 20;
+
+/// The in-flight `--trace-out` capture; call [`TraceOut::finish`] after
+/// the run to write the export.
+#[must_use = "call .finish() to write the trace file"]
+#[derive(Debug)]
+pub struct TraceOut {
+    path: Option<PathBuf>,
+}
+
+impl TraceOut {
+    /// Parses the process arguments: strips `--trace-out <path>` and bare
+    /// `--` tokens, installs a tracer if the flag was given, and returns
+    /// the remaining arguments (program name excluded) plus the guard.
+    ///
+    /// Exits with status 2 on a `--trace-out` missing its path operand.
+    pub fn from_env() -> (Vec<String>, TraceOut) {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// [`TraceOut::from_env`] over an explicit argument iterator.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> (Vec<String>, TraceOut) {
+        let mut rest = Vec::new();
+        let mut path = None;
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--" => {}
+                "--trace-out" => match it.next() {
+                    Some(p) => path = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--trace-out requires a path");
+                        std::process::exit(2);
+                    }
+                },
+                _ => rest.push(a),
+            }
+        }
+        if path.is_some() {
+            trace::install(REPRO_RING_CAPACITY);
+        }
+        (rest, TraceOut { path })
+    }
+
+    /// Uninstalls the tracer and writes the JSONL export; a no-op when
+    /// `--trace-out` was not given.
+    ///
+    /// Exits with status 1 if the file cannot be written.
+    pub fn finish(self) {
+        let Some(path) = self.path else { return };
+        let events = trace::uninstall();
+        if let Err(e) = std::fs::write(&path, trace::to_jsonl(&events)) {
+            eprintln!("cannot write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_flag_and_separators() {
+        let (rest, t) = TraceOut::from_args(
+            ["--", "table3", "--trace-out", "/dev/null", "500"].map(String::from),
+        );
+        assert_eq!(rest, vec!["table3".to_string(), "500".to_string()]);
+        assert!(trace::is_active(), "flag installs the tracer");
+        t.finish();
+        assert!(!trace::is_active(), "finish uninstalls");
+    }
+
+    #[test]
+    fn absent_flag_changes_nothing() {
+        let (rest, t) = TraceOut::from_args(["1000"].map(String::from));
+        assert_eq!(rest, vec!["1000".to_string()]);
+        assert!(!trace::is_active());
+        t.finish();
+    }
+
+    #[test]
+    fn export_round_trips_through_the_parser() {
+        let dir = std::env::temp_dir().join("cxl-t2-sim-traceopt-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let out = dir.join("t.jsonl");
+        let (_, t) = TraceOut::from_args(
+            ["--trace-out", out.to_str().expect("utf8 tmp path")].map(String::from),
+        );
+        trace::emit(
+            sim_core::time::Time::ZERO,
+            trace::TraceEvent::LlcPush { addr: 42 },
+        );
+        t.finish();
+        let text = std::fs::read_to_string(&out).expect("trace written");
+        let events = trace::from_jsonl(&text).expect("valid JSONL");
+        assert_eq!(events.len(), 1);
+        let _ = std::fs::remove_file(&out);
+    }
+}

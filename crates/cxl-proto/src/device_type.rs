@@ -105,12 +105,18 @@ mod tests {
 
     #[test]
     fn table1_protocol_composition() {
-        assert_eq!(DeviceType::Type1.protocols(), &[Protocol::Io, Protocol::Cache]);
+        assert_eq!(
+            DeviceType::Type1.protocols(),
+            &[Protocol::Io, Protocol::Cache]
+        );
         assert_eq!(
             DeviceType::Type2.protocols(),
             &[Protocol::Io, Protocol::Cache, Protocol::Mem]
         );
-        assert_eq!(DeviceType::Type3.protocols(), &[Protocol::Io, Protocol::Mem]);
+        assert_eq!(
+            DeviceType::Type3.protocols(),
+            &[Protocol::Io, Protocol::Mem]
+        );
     }
 
     #[test]

@@ -109,7 +109,10 @@ impl core::fmt::Display for FlitError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             FlitError::BadCrc { carried, computed } => {
-                write!(f, "flit CRC mismatch: carried {carried:#06x}, computed {computed:#06x}")
+                write!(
+                    f,
+                    "flit CRC mismatch: carried {carried:#06x}, computed {computed:#06x}"
+                )
             }
             FlitError::BadSlotFormat(b) => write!(f, "unknown slot format {b:#x}"),
             FlitError::BadOpcode(b) => write!(f, "unknown opcode encoding {b:#x}"),
@@ -158,7 +161,11 @@ impl Flit {
         for &b in bytes {
             crc ^= u16::from(b) << 8;
             for _ in 0..8 {
-                crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+                crc = if crc & 0x8000 != 0 {
+                    (crc << 1) ^ 0x1021
+                } else {
+                    crc << 1
+                };
             }
         }
         crc
@@ -188,21 +195,21 @@ impl Flit {
             SlotKind::Empty => Slot::Empty,
             SlotKind::D2hReq => {
                 let opcode = opcode_from_bits(bytes[0]).ok_or(FlitError::BadOpcode(bytes[0]))?;
-                let cqid =
-                    u16::from_le_bytes(bytes[1..3].try_into().expect("2 bytes")) & 0x0FFF;
+                let cqid = u16::from_le_bytes(bytes[1..3].try_into().expect("2 bytes")) & 0x0FFF;
                 let mut a = [0u8; 8];
                 a[..6].copy_from_slice(&bytes[3..9]);
-                Slot::D2hReq { opcode, cqid, addr: u64::from_le_bytes(a) }
+                Slot::D2hReq {
+                    opcode,
+                    cqid,
+                    addr: u64::from_le_bytes(a),
+                }
             }
             SlotKind::H2dResp => {
                 let code = bytes[0] & 0x0F;
-                let cqid =
-                    u16::from_le_bytes(bytes[1..3].try_into().expect("2 bytes")) & 0x0FFF;
+                let cqid = u16::from_le_bytes(bytes[1..3].try_into().expect("2 bytes")) & 0x0FFF;
                 Slot::H2dResp { cqid, code }
             }
-            SlotKind::Data => {
-                Slot::Data(bytes.try_into().expect("slot is 16 bytes"))
-            }
+            SlotKind::Data => Slot::Data(bytes.try_into().expect("slot is 16 bytes")),
         })
     }
 
@@ -237,8 +244,7 @@ impl Flit {
     ///
     /// Returns [`FlitError`] on CRC mismatch or unknown encodings.
     pub fn decode(wire: &[u8; FLIT_BYTES]) -> Result<Flit, FlitError> {
-        let carried =
-            u16::from_le_bytes(wire[FLIT_BYTES - 2..].try_into().expect("2 bytes"));
+        let carried = u16::from_le_bytes(wire[FLIT_BYTES - 2..].try_into().expect("2 bytes"));
         let computed = Self::crc16(&wire[..FLIT_BYTES - 2]);
         if carried != computed {
             return Err(FlitError::BadCrc { carried, computed });
@@ -281,7 +287,11 @@ mod tests {
     #[test]
     fn roundtrip_all_slot_kinds() {
         let flit = Flit::new([
-            Slot::D2hReq { opcode: D2hOpcode::ItoMWr, cqid: 0x0ABC, addr: (1 << 46) - 5 },
+            Slot::D2hReq {
+                opcode: D2hOpcode::ItoMWr,
+                cqid: 0x0ABC,
+                addr: (1 << 46) - 5,
+            },
             Slot::H2dResp { cqid: 7, code: 0x3 },
             Slot::Data([0x5A; 16]),
             Slot::Empty,
@@ -304,7 +314,11 @@ mod tests {
     #[test]
     fn cqid_and_addr_are_masked_to_field_widths() {
         let flit = Flit::new([
-            Slot::D2hReq { opcode: D2hOpcode::RdOwn, cqid: 0xFFFF, addr: u64::MAX },
+            Slot::D2hReq {
+                opcode: D2hOpcode::RdOwn,
+                cqid: 0xFFFF,
+                addr: u64::MAX,
+            },
             Slot::Empty,
             Slot::Empty,
             Slot::Empty,
@@ -351,7 +365,11 @@ mod tests {
             D2hOpcode::DirtyEvict,
         ] {
             let f = Flit::new([
-                Slot::D2hReq { opcode: op, cqid: 1, addr: 64 },
+                Slot::D2hReq {
+                    opcode: op,
+                    cqid: 1,
+                    addr: 64,
+                },
                 Slot::Empty,
                 Slot::Empty,
                 Slot::Empty,

@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn cxl_outpaces_upi_by_about_40_percent() {
         let ratio = cxl_x16().bandwidth_gbps() / upi().bandwidth_gbps();
-        assert!((1.3..1.5).contains(&ratio), "CXL/UPI bandwidth ratio {ratio}");
+        assert!(
+            (1.3..1.5).contains(&ratio),
+            "CXL/UPI bandwidth ratio {ratio}"
+        );
     }
 
     #[test]
@@ -202,8 +205,7 @@ mod tests {
     #[test]
     fn error_injection_adds_retry_latency() {
         let mut clean = Link::new(Duration::from_nanos(30), 56.0, 4);
-        let mut lossy =
-            Link::new(Duration::from_nanos(30), 56.0, 4).with_error_rate(0.2, 7);
+        let mut lossy = Link::new(Duration::from_nanos(30), 56.0, 4).with_error_rate(0.2, 7);
         let n = 2_000u64;
         let mut t_clean = Time::ZERO;
         let mut t_lossy = Time::ZERO;
@@ -211,14 +213,17 @@ mod tests {
             t_clean = clean.deliver(t_clean, 64);
             t_lossy = lossy.deliver(t_lossy, 64);
         }
-        assert!(lossy.retries() > n / 10, "retries happened: {}", lossy.retries());
+        assert!(
+            lossy.retries() > n / 10,
+            "retries happened: {}",
+            lossy.retries()
+        );
         assert!(
             t_lossy > t_clean,
             "lossy link is slower: {t_lossy} vs {t_clean}"
         );
         // Deterministic per seed.
-        let mut again =
-            Link::new(Duration::from_nanos(30), 56.0, 4).with_error_rate(0.2, 7);
+        let mut again = Link::new(Duration::from_nanos(30), 56.0, 4).with_error_rate(0.2, 7);
         let mut t_again = Time::ZERO;
         for _ in 0..n {
             t_again = again.deliver(t_again, 64);

@@ -64,20 +64,35 @@ pub struct RequestType {
 
 impl RequestType {
     /// Non-cacheable push write to host LLC (write-only hint).
-    pub const NC_P: RequestType = RequestType { hint: CacheHint::NcPush, kind: AccessKind::Write };
+    pub const NC_P: RequestType = RequestType {
+        hint: CacheHint::NcPush,
+        kind: AccessKind::Write,
+    };
     /// Non-cacheable read.
-    pub const NC_RD: RequestType = RequestType { hint: CacheHint::Nc, kind: AccessKind::Read };
+    pub const NC_RD: RequestType = RequestType {
+        hint: CacheHint::Nc,
+        kind: AccessKind::Read,
+    };
     /// Non-cacheable write.
-    pub const NC_WR: RequestType = RequestType { hint: CacheHint::Nc, kind: AccessKind::Write };
+    pub const NC_WR: RequestType = RequestType {
+        hint: CacheHint::Nc,
+        kind: AccessKind::Write,
+    };
     /// Cacheable-owned read.
-    pub const CO_RD: RequestType =
-        RequestType { hint: CacheHint::CacheableOwned, kind: AccessKind::Read };
+    pub const CO_RD: RequestType = RequestType {
+        hint: CacheHint::CacheableOwned,
+        kind: AccessKind::Read,
+    };
     /// Cacheable-owned write.
-    pub const CO_WR: RequestType =
-        RequestType { hint: CacheHint::CacheableOwned, kind: AccessKind::Write };
+    pub const CO_WR: RequestType = RequestType {
+        hint: CacheHint::CacheableOwned,
+        kind: AccessKind::Write,
+    };
     /// Cacheable-shared read (the hint is read-only).
-    pub const CS_RD: RequestType =
-        RequestType { hint: CacheHint::CacheableShared, kind: AccessKind::Read };
+    pub const CS_RD: RequestType = RequestType {
+        hint: CacheHint::CacheableShared,
+        kind: AccessKind::Read,
+    };
 
     /// All six request types of Table III, in its row order.
     pub const ALL: [RequestType; 6] = [
@@ -213,7 +228,10 @@ mod tests {
     #[test]
     fn all_six_request_types_have_distinct_names() {
         let names: Vec<String> = RequestType::ALL.iter().map(|r| r.to_string()).collect();
-        assert_eq!(names, vec!["NC-P", "NC-rd", "NC-wr", "CO-rd", "CO-wr", "CS-rd"]);
+        assert_eq!(
+            names,
+            vec!["NC-P", "NC-rd", "NC-wr", "CO-rd", "CO-wr", "CS-rd"]
+        );
     }
 
     #[test]

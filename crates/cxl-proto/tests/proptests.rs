@@ -21,7 +21,11 @@ fn slot_strategy() -> impl Strategy<Value = Slot> {
                 D2hOpcode::CleanEvict,
                 D2hOpcode::DirtyEvict,
             ][op as usize];
-            Slot::D2hReq { opcode, cqid: cqid & 0x0FFF, addr: addr & ((1 << 46) - 1) }
+            Slot::D2hReq {
+                opcode,
+                cqid: cqid & 0x0FFF,
+                addr: addr & ((1 << 46) - 1),
+            }
         }),
         (any::<u16>(), 0u8..16).prop_map(|(cqid, code)| Slot::H2dResp {
             cqid: cqid & 0x0FFF,

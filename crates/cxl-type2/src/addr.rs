@@ -22,7 +22,10 @@ pub const DEVICE_MEM_BASE: u64 = 1 << 34;
 /// assert!(is_device_addr(device_line(7)));
 /// ```
 pub fn host_line(index: u64) -> LineAddr {
-    assert!(index < DEVICE_MEM_BASE, "host line index overflows into device space");
+    assert!(
+        index < DEVICE_MEM_BASE,
+        "host line index overflows into device space"
+    );
     LineAddr::new(index)
 }
 

@@ -63,7 +63,9 @@ impl SliceArray {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a DCOH needs at least one slice");
-        SliceArray { slices: (0..n).map(|_| Slice::new()).collect() }
+        SliceArray {
+            slices: (0..n).map(|_| Slice::new()).collect(),
+        }
     }
 
     /// Number of slices.
@@ -117,7 +119,10 @@ impl SliceArray {
 
     /// Flush every slice's HMC, returning dirty victims.
     pub fn hmc_flush_all(&mut self) -> Vec<Evicted> {
-        self.slices.iter_mut().flat_map(|s| s.hmc.flush_all()).collect()
+        self.slices
+            .iter_mut()
+            .flat_map(|s| s.hmc.flush_all())
+            .collect()
     }
 
     /// Total resident HMC lines.
@@ -158,7 +163,10 @@ impl SliceArray {
 
     /// Flush every slice's DMC, returning dirty victims.
     pub fn dmc_flush_all(&mut self) -> Vec<Evicted> {
-        self.slices.iter_mut().flat_map(|s| s.dmc.flush_all()).collect()
+        self.slices
+            .iter_mut()
+            .flat_map(|s| s.dmc.flush_all())
+            .collect()
     }
 }
 

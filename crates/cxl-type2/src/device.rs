@@ -21,6 +21,7 @@ use mem_subsys::coherence::MesiState;
 use mem_subsys::dram::{DramTech, MemorySystem};
 use mem_subsys::line::LineAddr;
 use sim_core::time::{Duration, Time};
+use sim_core::trace::{self, BiasKind, CacheId, CounterRegistry, Lane, MemId, OpKind, TraceEvent};
 
 use crate::addr::{device_byte_offset, device_local_index, is_device_addr};
 use crate::dcoh::SliceArray;
@@ -38,19 +39,35 @@ pub struct DeviceAccess {
     pub llc_hit: Option<bool>,
 }
 
-/// Traffic and event counters for the device.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct DeviceCounters {
-    /// D2H requests served.
-    pub d2h_requests: u64,
-    /// D2D requests served.
-    pub d2d_requests: u64,
-    /// H2D requests served.
-    pub h2d_requests: u64,
-    /// Dirty HMC victims written back to host memory.
-    pub hmc_writebacks: u64,
-    /// Dirty DMC victims written back to device memory.
-    pub dmc_writebacks: u64,
+/// The trace [`OpKind`] a device [`RequestType`] maps to.
+fn op_kind(req: RequestType) -> OpKind {
+    match (req.hint(), req.kind()) {
+        (CacheHint::NcPush, _) => OpKind::NcP,
+        (CacheHint::Nc, AccessKind::Read) => OpKind::NcRd,
+        (CacheHint::Nc, AccessKind::Write) => OpKind::NcWr,
+        (CacheHint::CacheableOwned, AccessKind::Read) => OpKind::CoRd,
+        (CacheHint::CacheableOwned, AccessKind::Write) => OpKind::CoWr,
+        (CacheHint::CacheableShared, _) => OpKind::CsRd,
+    }
+}
+
+/// The trace [`CacheId`] a host-hierarchy hit level maps to.
+fn host_cache_id(level: HitLevel) -> CacheId {
+    match level {
+        HitLevel::L1 => CacheId::HostL1,
+        HitLevel::L2 => CacheId::HostL2,
+        _ => CacheId::HostLlc,
+    }
+}
+
+/// The trace state a MESI state maps to.
+fn line_state(s: MesiState) -> trace::LineState {
+    match s {
+        MesiState::Modified => trace::LineState::Modified,
+        MesiState::Exclusive => trace::LineState::Exclusive,
+        MesiState::Shared => trace::LineState::Shared,
+        MesiState::Invalid => trace::LineState::Invalid,
+    }
 }
 
 /// The Agilex-7 card modeled as a CXL Type-2 (or Type-3) device.
@@ -93,7 +110,7 @@ pub struct CxlDevice {
     ingress_slots: std::collections::VecDeque<Time>,
     /// Serialization point of the ingress pipeline's service stage.
     ingress_busy_until: Time,
-    counters: DeviceCounters,
+    counters: CounterRegistry,
 }
 
 impl CxlDevice {
@@ -136,7 +153,7 @@ impl CxlDevice {
             to_device: cxl_x16(),
             ingress_slots: std::collections::VecDeque::new(),
             ingress_busy_until: Time::ZERO,
-            counters: DeviceCounters::default(),
+            counters: CounterRegistry::new(),
         }
     }
 
@@ -158,9 +175,10 @@ impl CxlDevice {
         cxl_proto::dvsec::CxlDvsec::for_device(self.device_type, hdm_bytes).encode()
     }
 
-    /// Event counters.
-    pub fn counters(&self) -> DeviceCounters {
-        self.counters
+    /// Event counters, keyed under the `device.` hierarchy
+    /// (`device.d2h.requests`, `device.hmc.writebacks`, …).
+    pub fn counters(&self) -> &CounterRegistry {
+        &self.counters
     }
 
     /// The HMC state of a host-memory line (test/verification hook).
@@ -180,9 +198,29 @@ impl CxlDevice {
             self.writeback_hmc_victim(v.addr, now, host);
         }
         for v in self.dcoh.dmc_flush_all() {
-            self.counters.dmc_writebacks += 1;
-            let _ = self.dev_mem.write(LineAddr::new(device_local_index(v.addr)), now);
+            self.writeback_dmc_victim(v.addr, now);
         }
+    }
+
+    fn writeback_dmc_victim(&mut self, addr: LineAddr, now: Time) {
+        self.counters.incr("device.dmc.writebacks");
+        trace::emit(
+            now,
+            TraceEvent::CacheWriteback {
+                cache: CacheId::Dmc,
+                addr: addr.index(),
+            },
+        );
+        trace::emit(
+            now,
+            TraceEvent::MemWrite {
+                mem: MemId::DevDram,
+                addr: device_local_index(addr),
+            },
+        );
+        let _ = self
+            .dev_mem
+            .write(LineAddr::new(device_local_index(addr)), now);
     }
 
     /// Prepares a device-memory region for device-bias operation: flushes
@@ -196,7 +234,10 @@ impl CxlDevice {
         now: Time,
         host: &mut Socket,
     ) -> Time {
-        assert!(is_device_addr(first), "device bias applies to device memory");
+        assert!(
+            is_device_addr(first),
+            "device bias applies to device memory"
+        );
         let mut t = now;
         for i in 0..lines {
             let addr = first.offset(i);
@@ -214,6 +255,13 @@ impl CxlDevice {
         if !self.bias.switch_to_device_bias(start) {
             self.bias.define_region(start..end, BiasMode::DeviceBias);
         }
+        trace::emit(
+            t,
+            TraceEvent::BiasSwitch {
+                region_offset: start,
+                to: BiasKind::DeviceBias,
+            },
+        );
         t
     }
 
@@ -223,12 +271,27 @@ impl CxlDevice {
     }
 
     fn writeback_hmc_victim(&mut self, addr: LineAddr, now: Time, host: &mut Socket) {
-        self.counters.hmc_writebacks += 1;
+        self.counters.incr("device.hmc.writebacks");
+        trace::emit(
+            now,
+            TraceEvent::CacheWriteback {
+                cache: CacheId::Hmc,
+                addr: addr.index(),
+            },
+        );
         let arrive = self.to_host.deliver(now, 64);
         let _ = host.home_write_memory(addr, arrive, host.timing.cxl_agent_penalty);
     }
 
     fn fill_hmc(&mut self, addr: LineAddr, state: MesiState, now: Time, host: &mut Socket) {
+        trace::emit(
+            now,
+            TraceEvent::CacheFill {
+                cache: CacheId::Hmc,
+                addr: addr.index(),
+                state: line_state(state),
+            },
+        );
         if let Some(v) = self.dcoh.hmc_fill(addr, state) {
             if v.state.is_dirty() {
                 self.writeback_hmc_victim(v.addr, now, host);
@@ -237,20 +300,43 @@ impl CxlDevice {
     }
 
     fn fill_dmc(&mut self, addr: LineAddr, state: MesiState, now: Time) {
+        trace::emit(
+            now,
+            TraceEvent::CacheFill {
+                cache: CacheId::Dmc,
+                addr: addr.index(),
+                state: line_state(state),
+            },
+        );
         if let Some(v) = self.dcoh.dmc_fill(addr, state) {
             if v.state.is_dirty() {
-                self.counters.dmc_writebacks += 1;
-                let _ = self.dev_mem.write(LineAddr::new(device_local_index(v.addr)), now);
+                self.writeback_dmc_victim(v.addr, now);
             }
         }
     }
 
     fn dev_mem_read(&mut self, addr: LineAddr, now: Time) -> Time {
-        self.dev_mem.read(LineAddr::new(device_local_index(addr)), now)
+        trace::emit(
+            now,
+            TraceEvent::MemRead {
+                mem: MemId::DevDram,
+                addr: device_local_index(addr),
+            },
+        );
+        self.dev_mem
+            .read(LineAddr::new(device_local_index(addr)), now)
     }
 
     fn dev_mem_write(&mut self, addr: LineAddr, now: Time) -> Time {
-        self.dev_mem.write(LineAddr::new(device_local_index(addr)), now)
+        trace::emit(
+            now,
+            TraceEvent::MemWrite {
+                mem: MemId::DevDram,
+                addr: device_local_index(addr),
+            },
+        );
+        self.dev_mem
+            .write(LineAddr::new(device_local_index(addr)), now)
     }
 
     // ===============================================================
@@ -277,7 +363,15 @@ impl CxlDevice {
             DeviceType::Type2,
             "D2H requires CXL.cache (Type-2 operation)"
         );
-        self.counters.d2h_requests += 1;
+        self.counters.incr("device.d2h.requests");
+        trace::emit(
+            now,
+            TraceEvent::Request {
+                lane: Lane::D2h,
+                op: op_kind(req),
+                addr: addr.index(),
+            },
+        );
         let penalty = host.timing.cxl_agent_penalty + self.penalty();
         let t = now + self.timing.dcoh_lookup;
         match (req.hint(), req.kind()) {
@@ -285,20 +379,49 @@ impl CxlDevice {
             // HMC copy (Table III: HMC Invalid, LLC Modified).
             (CacheHint::NcPush, _) => {
                 let hmc_hit = self.dcoh.hmc_lookup(addr).is_some();
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::Hmc,
+                        addr: addr.index(),
+                        hit: hmc_hit,
+                    },
+                );
                 // For device-memory sources (the Fig. 5 prefetch use), the
                 // data is read from device memory first.
                 let data_ready = t + self.timing.hmc_access;
                 let arrive = self.to_host.deliver(data_ready, 64);
                 let h = host.home_push_llc(addr, arrive, penalty);
-                self.dcoh.hmc_invalidate(addr);
+                if self.dcoh.hmc_invalidate(addr).is_some() {
+                    trace::emit(
+                        t,
+                        TraceEvent::CacheInvalidate {
+                            cache: CacheId::Hmc,
+                            addr: addr.index(),
+                        },
+                    );
+                }
                 let ack = self.to_device.deliver(h.completion, 0);
-                DeviceAccess { completion: ack, device_cache_hit: hmc_hit, llc_hit: Some(true) }
+                DeviceAccess {
+                    completion: ack,
+                    device_cache_hit: hmc_hit,
+                    llc_hit: Some(true),
+                }
             }
             // NC-read (RdCurr): HMC hit serves locally with no state
             // change; otherwise data from LLC/memory without HMC
             // allocation (Table III: no change / no change).
             (CacheHint::Nc, AccessKind::Read) => {
-                if self.dcoh.hmc_lookup(addr).is_some() {
+                let hmc_hit = self.dcoh.hmc_lookup(addr).is_some();
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::Hmc,
+                        addr: addr.index(),
+                        hit: hmc_hit,
+                    },
+                );
+                if hmc_hit {
                     return DeviceAccess {
                         completion: t + self.timing.hmc_access,
                         device_cache_hit: true,
@@ -308,13 +431,34 @@ impl CxlDevice {
                 let arrive = self.to_host.deliver(t, 0);
                 let h = host.home_read_current(addr, arrive, penalty);
                 let data = self.to_device.deliver(h.completion, 64);
-                DeviceAccess { completion: data, device_cache_hit: false, llc_hit: Some(h.llc_hit) }
+                DeviceAccess {
+                    completion: data,
+                    device_cache_hit: false,
+                    llc_hit: Some(h.llc_hit),
+                }
             }
             // NC-write (WrCur): invalidate HMC and LLC copies, write host
             // memory directly (Table III: Invalid / Invalid). Posted:
             // completes on host write-queue admission.
             (CacheHint::Nc, AccessKind::Write) => {
                 let hmc_hit = self.dcoh.hmc_invalidate(addr).is_some();
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::Hmc,
+                        addr: addr.index(),
+                        hit: hmc_hit,
+                    },
+                );
+                if hmc_hit {
+                    trace::emit(
+                        t,
+                        TraceEvent::CacheInvalidate {
+                            cache: CacheId::Hmc,
+                            addr: addr.index(),
+                        },
+                    );
+                }
                 let arrive = self.to_host.deliver(t, 64);
                 let h = host.home_write_memory(addr, arrive, penalty);
                 DeviceAccess {
@@ -327,7 +471,16 @@ impl CxlDevice {
             // invalidated (Table III: M/E→M/E, S→E / E-or-M / Exclusive;
             // LLC Invalid).
             (CacheHint::CacheableOwned, AccessKind::Read) => {
-                match self.dcoh.hmc_lookup(addr) {
+                let hmc_state = self.dcoh.hmc_lookup(addr);
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::Hmc,
+                        addr: addr.index(),
+                        hit: hmc_state.is_some(),
+                    },
+                );
+                match hmc_state {
                     Some(MesiState::Modified) | Some(MesiState::Exclusive) => DeviceAccess {
                         completion: t + self.timing.hmc_access,
                         device_cache_hit: true,
@@ -339,6 +492,14 @@ impl CxlDevice {
                         let h = host.home_read_own(addr, arrive, penalty);
                         let ack = self.to_device.deliver(h.completion, 0);
                         self.dcoh.hmc_set_state(addr, MesiState::Exclusive);
+                        trace::emit(
+                            ack,
+                            TraceEvent::CacheState {
+                                cache: CacheId::Hmc,
+                                addr: addr.index(),
+                                state: trace::LineState::Exclusive,
+                            },
+                        );
                         DeviceAccess {
                             completion: ack,
                             device_cache_hit: true,
@@ -369,9 +530,26 @@ impl CxlDevice {
             // CO-write: ownership + write into HMC (Table III: HMC
             // Modified, LLC Invalid).
             (CacheHint::CacheableOwned, AccessKind::Write) => {
-                match self.dcoh.hmc_lookup(addr) {
+                let hmc_state = self.dcoh.hmc_lookup(addr);
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::Hmc,
+                        addr: addr.index(),
+                        hit: hmc_state.is_some(),
+                    },
+                );
+                match hmc_state {
                     Some(MesiState::Modified) | Some(MesiState::Exclusive) => {
                         self.dcoh.hmc_set_state(addr, MesiState::Modified);
+                        trace::emit(
+                            t,
+                            TraceEvent::CacheState {
+                                cache: CacheId::Hmc,
+                                addr: addr.index(),
+                                state: trace::LineState::Modified,
+                            },
+                        );
                         DeviceAccess {
                             completion: t + self.timing.hmc_access,
                             device_cache_hit: true,
@@ -397,12 +575,29 @@ impl CxlDevice {
             // CS-read (RdShared): like NC-read but allocates in HMC in
             // Shared (Table III: HMC Shared; LLC no change, I/S on miss).
             (CacheHint::CacheableShared, _) => {
-                if let Some(state) = self.dcoh.hmc_lookup(addr) {
+                let hmc_state = self.dcoh.hmc_lookup(addr);
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::Hmc,
+                        addr: addr.index(),
+                        hit: hmc_state.is_some(),
+                    },
+                );
+                if let Some(state) = hmc_state {
                     if state.is_dirty() {
                         // Degrading a dirty HMC line to Shared publishes it.
                         self.writeback_hmc_victim(addr, t, host);
                     }
                     self.dcoh.hmc_set_state(addr, MesiState::Shared);
+                    trace::emit(
+                        t,
+                        TraceEvent::CacheState {
+                            cache: CacheId::Hmc,
+                            addr: addr.index(),
+                            state: trace::LineState::Shared,
+                        },
+                    );
                     return DeviceAccess {
                         completion: t + self.timing.hmc_access,
                         device_cache_hit: true,
@@ -443,9 +638,23 @@ impl CxlDevice {
         now: Time,
         host: &mut Socket,
     ) -> DeviceAccess {
-        assert!(is_device_addr(addr), "D2D targets device memory; got {addr}");
-        assert!(req.hint() != CacheHint::NcPush, "NC-P is not defined for D2D accesses");
-        self.counters.d2d_requests += 1;
+        assert!(
+            is_device_addr(addr),
+            "D2D targets device memory; got {addr}"
+        );
+        assert!(
+            req.hint() != CacheHint::NcPush,
+            "NC-P is not defined for D2D accesses"
+        );
+        self.counters.incr("device.d2d.requests");
+        trace::emit(
+            now,
+            TraceEvent::Request {
+                lane: Lane::D2d,
+                op: op_kind(req),
+                addr: addr.index(),
+            },
+        );
         let mode = if self.device_type == DeviceType::Type3 {
             // Type-3 AFUs access device memory without coherence.
             BiasMode::DeviceBias
@@ -465,7 +674,16 @@ impl CxlDevice {
         match (req.hint(), req.kind()) {
             // NC-read: serve from DMC or device memory, no allocation.
             (CacheHint::Nc, AccessKind::Read) => {
-                if self.dcoh.dmc_lookup(addr).is_some() {
+                let hit = self.dcoh.dmc_lookup(addr).is_some();
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::Dmc,
+                        addr: addr.index(),
+                        hit,
+                    },
+                );
+                if hit {
                     DeviceAccess {
                         completion: t + self.timing.dmc_access,
                         device_cache_hit: true,
@@ -481,7 +699,16 @@ impl CxlDevice {
             }
             // CO-read and CS-read both perform a cacheable read.
             (_, AccessKind::Read) => {
-                if self.dcoh.dmc_lookup(addr).is_some() {
+                let hit = self.dcoh.dmc_lookup(addr).is_some();
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::Dmc,
+                        addr: addr.index(),
+                        hit,
+                    },
+                );
+                if hit {
                     DeviceAccess {
                         completion: t + self.timing.dmc_access,
                         device_cache_hit: true,
@@ -501,6 +728,23 @@ impl CxlDevice {
             // fabric traversal to the MC is still paid).
             (CacheHint::Nc, AccessKind::Write) => {
                 let hit = self.dcoh.dmc_invalidate(addr).is_some();
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::Dmc,
+                        addr: addr.index(),
+                        hit,
+                    },
+                );
+                if hit {
+                    trace::emit(
+                        t,
+                        TraceEvent::CacheInvalidate {
+                            cache: CacheId::Dmc,
+                            addr: addr.index(),
+                        },
+                    );
+                }
                 let fabric = t + self.timing.dmc_access;
                 DeviceAccess {
                     completion: self.dev_mem_write(addr, fabric),
@@ -511,6 +755,14 @@ impl CxlDevice {
             // CO-write: cacheable write into DMC.
             (_, AccessKind::Write) => {
                 let hit = self.dcoh.dmc_lookup(addr).is_some();
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::Dmc,
+                        addr: addr.index(),
+                        hit,
+                    },
+                );
                 self.fill_dmc(addr, MesiState::Modified, t);
                 DeviceAccess {
                     completion: t + self.timing.dmc_access,
@@ -553,7 +805,9 @@ impl CxlDevice {
                     CacheHint::Nc => host.snoop_current(addr, arrive, penalty),
                     _ => host.snoop_shared(addr, arrive, penalty),
                 };
-                let resp = self.to_device.deliver(snoop.completion, if snoop.hit { 64 } else { 0 });
+                let resp = self
+                    .to_device
+                    .deliver(snoop.completion, if snoop.hit { 64 } else { 0 });
                 let (data_ready, fill_state) = if snoop.was_dirty {
                     // Host forwarded the modified data; keep DMC coherent
                     // and publish the line to device memory.
@@ -580,8 +834,10 @@ impl CxlDevice {
                 // Writes must invalidate any host copies (even Shared ones)
                 // before the device may own the line.
                 let dmc_hit = self.dcoh.dmc_probe(addr).is_some();
-                let host_clean =
-                    matches!(self.dcoh.dmc_probe(addr), Some(MesiState::Modified | MesiState::Exclusive));
+                let host_clean = matches!(
+                    self.dcoh.dmc_probe(addr),
+                    Some(MesiState::Modified | MesiState::Exclusive)
+                );
                 let t = if host_clean {
                     // Device already owns the line exclusively: no snoop.
                     t
@@ -629,22 +885,56 @@ impl CxlDevice {
             match self.dcoh.dmc_probe(addr) {
                 Some(MesiState::Modified) => {
                     // Write back the dirty device-cache line first.
+                    trace::emit(
+                        t,
+                        TraceEvent::CacheWriteback {
+                            cache: CacheId::Dmc,
+                            addr: addr.index(),
+                        },
+                    );
                     let wb = self.dev_mem_write(addr, t);
                     t = wb.max(t) + self.timing.h2d_dirty_writeback;
-                    self.counters.dmc_writebacks += 1;
-                    self.dcoh.dmc_set_state(
-                        addr,
-                        if for_write { MesiState::Invalid } else { MesiState::Shared },
+                    self.counters.incr("device.dmc.writebacks");
+                    let next = if for_write {
+                        MesiState::Invalid
+                    } else {
+                        MesiState::Shared
+                    };
+                    trace::emit(
+                        t,
+                        TraceEvent::CacheState {
+                            cache: CacheId::Dmc,
+                            addr: addr.index(),
+                            state: line_state(next),
+                        },
                     );
+                    self.dcoh.dmc_set_state(addr, next);
                 }
                 Some(MesiState::Exclusive) => {
                     t += self.timing.h2d_state_downgrade;
-                    self.dcoh.dmc_set_state(
-                        addr,
-                        if for_write { MesiState::Invalid } else { MesiState::Shared },
+                    let next = if for_write {
+                        MesiState::Invalid
+                    } else {
+                        MesiState::Shared
+                    };
+                    trace::emit(
+                        t,
+                        TraceEvent::CacheState {
+                            cache: CacheId::Dmc,
+                            addr: addr.index(),
+                            state: line_state(next),
+                        },
                     );
+                    self.dcoh.dmc_set_state(addr, next);
                 }
                 Some(_) if for_write => {
+                    trace::emit(
+                        t,
+                        TraceEvent::CacheInvalidate {
+                            cache: CacheId::Dmc,
+                            addr: addr.index(),
+                        },
+                    );
                     self.dcoh.dmc_invalidate(addr);
                 }
                 _ => {}
@@ -681,7 +971,10 @@ impl CxlDevice {
         let admitted = if self.ingress_slots.len() < self.timing.h2d_ingress_entries {
             arrival
         } else {
-            let front = self.ingress_slots.pop_front().expect("full buffer has a head");
+            let front = self
+                .ingress_slots
+                .pop_front()
+                .expect("full buffer has a head");
             arrival.max(front)
         };
         let done = self.ingress_busy_until.max(admitted) + occupancy;
@@ -690,29 +983,76 @@ impl CxlDevice {
         admitted
     }
 
+    /// Emits the bias-flip event (device→host bias, §IV-B) if this H2D
+    /// access exits device bias, then records the access in the table.
+    fn h2d_touch_bias(&mut self, addr: LineAddr, at: Time) {
+        let off = device_byte_offset(addr);
+        if self.bias.mode_of(off) == BiasMode::DeviceBias {
+            trace::emit(
+                at,
+                TraceEvent::BiasSwitch {
+                    region_offset: off,
+                    to: BiasKind::HostBias,
+                },
+            );
+        }
+        self.bias.on_h2d_access(off);
+    }
+
     /// Host temporal load (`ld`) from device memory.
     ///
     /// # Panics
     ///
     /// Panics if `addr` is not a device-memory address.
     pub fn h2d_load(&mut self, addr: LineAddr, now: Time, host: &mut Socket) -> DeviceAccess {
-        assert!(is_device_addr(addr), "H2D targets device memory; got {addr}");
-        self.counters.h2d_requests += 1;
+        assert!(
+            is_device_addr(addr),
+            "H2D targets device memory; got {addr}"
+        );
+        self.counters.incr("device.h2d.requests");
+        trace::emit(
+            now,
+            TraceEvent::Request {
+                lane: Lane::H2d,
+                op: OpKind::Load,
+                addr: addr.index(),
+            },
+        );
         let issue = now + host.timing.issue;
         // CXL memory is cached in the host hierarchy like remote-NUMA
         // memory; NC-P prefetches (Insight 4) hit here.
         if let Some((level, _)) = host.caches.probe(addr) {
             let (lvl, _) = host.caches.touch_load_with_victims(addr);
             debug_assert_eq!(lvl, level);
+            trace::emit(
+                issue,
+                TraceEvent::CacheAccess {
+                    cache: host_cache_id(level),
+                    addr: addr.index(),
+                    hit: true,
+                },
+            );
             let completion = match level {
                 HitLevel::L1 => issue + host.timing.l1,
                 HitLevel::L2 => issue + host.timing.l2,
                 HitLevel::Llc => issue + host.timing.llc,
                 HitLevel::Memory => unreachable!("probe said the line is cached"),
             };
-            return DeviceAccess { completion, device_cache_hit: false, llc_hit: Some(true) };
+            return DeviceAccess {
+                completion,
+                device_cache_hit: false,
+                llc_hit: Some(true),
+            };
         }
-        self.bias.on_h2d_access(device_byte_offset(addr));
+        trace::emit(
+            issue,
+            TraceEvent::CacheAccess {
+                cache: CacheId::HostLlc,
+                addr: addr.index(),
+                hit: false,
+            },
+        );
+        self.h2d_touch_bias(addr, issue);
         let link = self.to_device.deliver(issue + host.timing.llc_lookup, 0);
         let occupancy = self.h2d_occupancy(addr);
         let arrive = self.ingress_admit(link, occupancy);
@@ -721,7 +1061,11 @@ impl CxlDevice {
         let data = self.dev_mem_read(addr, t);
         let back = self.to_host.deliver(data, 64);
         host.caches.touch_load_with_victims(addr);
-        DeviceAccess { completion: back, device_cache_hit: dmc_hit, llc_hit: Some(false) }
+        DeviceAccess {
+            completion: back,
+            device_cache_hit: dmc_hit,
+            llc_hit: Some(false),
+        }
     }
 
     /// Host non-temporal load (`nt-ld`): no host-cache allocation.
@@ -730,19 +1074,50 @@ impl CxlDevice {
     ///
     /// Panics if `addr` is not a device-memory address.
     pub fn h2d_nt_load(&mut self, addr: LineAddr, now: Time, host: &mut Socket) -> DeviceAccess {
-        assert!(is_device_addr(addr), "H2D targets device memory; got {addr}");
-        self.counters.h2d_requests += 1;
+        assert!(
+            is_device_addr(addr),
+            "H2D targets device memory; got {addr}"
+        );
+        self.counters.incr("device.h2d.requests");
+        trace::emit(
+            now,
+            TraceEvent::Request {
+                lane: Lane::H2d,
+                op: OpKind::NtLoad,
+                addr: addr.index(),
+            },
+        );
         let issue = now + host.timing.issue;
         if let Some((level, _)) = host.caches.probe(addr) {
+            trace::emit(
+                issue,
+                TraceEvent::CacheAccess {
+                    cache: host_cache_id(level),
+                    addr: addr.index(),
+                    hit: true,
+                },
+            );
             let completion = match level {
                 HitLevel::L1 => issue + host.timing.l1,
                 HitLevel::L2 => issue + host.timing.l2,
                 HitLevel::Llc => issue + host.timing.llc,
                 HitLevel::Memory => unreachable!("probe said the line is cached"),
             };
-            return DeviceAccess { completion, device_cache_hit: false, llc_hit: Some(true) };
+            return DeviceAccess {
+                completion,
+                device_cache_hit: false,
+                llc_hit: Some(true),
+            };
         }
-        self.bias.on_h2d_access(device_byte_offset(addr));
+        trace::emit(
+            issue,
+            TraceEvent::CacheAccess {
+                cache: CacheId::HostLlc,
+                addr: addr.index(),
+                hit: false,
+            },
+        );
+        self.h2d_touch_bias(addr, issue);
         let link = self.to_device.deliver(issue + host.timing.llc_lookup, 0);
         let occupancy = self.h2d_occupancy(addr);
         let arrive = self.ingress_admit(link, occupancy);
@@ -750,7 +1125,11 @@ impl CxlDevice {
         let t = self.h2d_device_side(addr, arrive, false);
         let data = self.dev_mem_read(addr, t);
         let back = self.to_host.deliver(data, 64);
-        DeviceAccess { completion: back, device_cache_hit: dmc_hit, llc_hit: Some(false) }
+        DeviceAccess {
+            completion: back,
+            device_cache_hit: dmc_hit,
+            llc_hit: Some(false),
+        }
     }
 
     /// Host temporal store (`st`): write-allocates the device line into the
@@ -760,19 +1139,50 @@ impl CxlDevice {
     ///
     /// Panics if `addr` is not a device-memory address.
     pub fn h2d_store(&mut self, addr: LineAddr, now: Time, host: &mut Socket) -> DeviceAccess {
-        assert!(is_device_addr(addr), "H2D targets device memory; got {addr}");
-        self.counters.h2d_requests += 1;
+        assert!(
+            is_device_addr(addr),
+            "H2D targets device memory; got {addr}"
+        );
+        self.counters.incr("device.h2d.requests");
+        trace::emit(
+            now,
+            TraceEvent::Request {
+                lane: Lane::H2d,
+                op: OpKind::Store,
+                addr: addr.index(),
+            },
+        );
         let issue = now + host.timing.issue;
         if host.caches.probe(addr).is_some() {
             let (level, _) = host.caches.touch_store(addr);
+            trace::emit(
+                issue,
+                TraceEvent::CacheAccess {
+                    cache: host_cache_id(level),
+                    addr: addr.index(),
+                    hit: true,
+                },
+            );
             let completion = match level {
                 HitLevel::L1 => issue + host.timing.l1,
                 HitLevel::L2 => issue + host.timing.l2,
                 _ => issue + host.timing.llc,
             } + host.timing.store_commit;
-            return DeviceAccess { completion, device_cache_hit: false, llc_hit: Some(true) };
+            return DeviceAccess {
+                completion,
+                device_cache_hit: false,
+                llc_hit: Some(true),
+            };
         }
-        self.bias.on_h2d_access(device_byte_offset(addr));
+        trace::emit(
+            issue,
+            TraceEvent::CacheAccess {
+                cache: CacheId::HostLlc,
+                addr: addr.index(),
+                hit: false,
+            },
+        );
+        self.h2d_touch_bias(addr, issue);
         let link = self.to_device.deliver(issue + host.timing.llc_lookup, 0);
         let occupancy = self.h2d_occupancy(addr);
         let arrive = self.ingress_admit(link, occupancy);
@@ -796,12 +1206,23 @@ impl CxlDevice {
     ///
     /// Panics if `addr` is not a device-memory address.
     pub fn h2d_nt_store(&mut self, addr: LineAddr, now: Time, host: &mut Socket) -> DeviceAccess {
-        assert!(is_device_addr(addr), "H2D targets device memory; got {addr}");
-        self.counters.h2d_requests += 1;
+        assert!(
+            is_device_addr(addr),
+            "H2D targets device memory; got {addr}"
+        );
+        self.counters.incr("device.h2d.requests");
+        trace::emit(
+            now,
+            TraceEvent::Request {
+                lane: Lane::H2d,
+                op: OpKind::NtStore,
+                addr: addr.index(),
+            },
+        );
         let issue = now + host.timing.issue;
         // Full-line overwrite drops any cached host copy.
         host.caches.invalidate(addr);
-        self.bias.on_h2d_access(device_byte_offset(addr));
+        self.h2d_touch_bias(addr, issue);
         // Posted write: complete on ingress-buffer admission. A buffer
         // kept busy by dirty-DMC write-backs back-pressures the link.
         let link = self.to_device.deliver(issue, 64);
@@ -810,7 +1231,11 @@ impl CxlDevice {
         let dmc_hit = self.device_type == DeviceType::Type2 && self.dcoh.dmc_probe(addr).is_some();
         let t = self.h2d_device_side(addr, arrive, true);
         let _ = self.dev_mem_write(addr, t);
-        DeviceAccess { completion: arrive, device_cache_hit: dmc_hit, llc_hit: Some(false) }
+        DeviceAccess {
+            completion: arrive,
+            device_cache_hit: dmc_hit,
+            llc_hit: Some(false),
+        }
     }
 
     /// NC-P from device memory: reads a device-memory line and pushes it
@@ -827,16 +1252,36 @@ impl CxlDevice {
     /// Panics if `addr` is not a device-memory address or the device is
     /// configured as Type-3 (NC-P needs CXL.cache).
     pub fn d2h_push_from_device(&mut self, addr: LineAddr, now: Time, host: &mut Socket) -> Time {
-        assert!(is_device_addr(addr), "push-from-device sources device memory; got {addr}");
+        assert!(
+            is_device_addr(addr),
+            "push-from-device sources device memory; got {addr}"
+        );
         assert_eq!(
             self.device_type,
             DeviceType::Type2,
             "NC-P requires CXL.cache (Type-2 operation)"
         );
-        self.counters.d2h_requests += 1;
+        self.counters.incr("device.d2h.requests");
+        trace::emit(
+            now,
+            TraceEvent::Request {
+                lane: Lane::D2h,
+                op: OpKind::NcP,
+                addr: addr.index(),
+            },
+        );
         let t = now + self.timing.dcoh_lookup;
         // Source the data: DMC if valid, device memory otherwise.
-        let data_ready = if self.dcoh.dmc_lookup(addr).is_some() {
+        let dmc_hit = self.dcoh.dmc_lookup(addr).is_some();
+        trace::emit(
+            t,
+            TraceEvent::CacheAccess {
+                cache: CacheId::Dmc,
+                addr: addr.index(),
+                hit: dmc_hit,
+            },
+        );
+        let data_ready = if dmc_hit {
             t + self.timing.dmc_access
         } else {
             self.dev_mem_read(addr, t)
@@ -854,7 +1299,10 @@ impl CxlDevice {
     ///
     /// Panics if `addr` is not a device-memory address.
     pub fn writeback_device_line(&mut self, addr: LineAddr, now: Time) -> Time {
-        assert!(is_device_addr(addr), "device write-back targets device memory; got {addr}");
+        assert!(
+            is_device_addr(addr),
+            "device write-back targets device memory; got {addr}"
+        );
         let arrive = self.to_device.deliver(now, 64);
         self.dev_mem_write(addr, arrive)
     }
@@ -938,7 +1386,11 @@ mod tests {
         dev.stage_hmc(a, MesiState::Shared, &mut host);
         dev.d2h(RequestType::NC_P, a, Time::ZERO, &mut host);
         assert_eq!(dev.hmc_state(a), None, "HMC line invalidated");
-        assert_eq!(host.caches.llc_state(a), Some(MesiState::Modified), "LLC line Modified");
+        assert_eq!(
+            host.caches.llc_state(a),
+            Some(MesiState::Modified),
+            "LLC line Modified"
+        );
     }
 
     #[test]
@@ -949,7 +1401,11 @@ mod tests {
         dev.stage_hmc(a, MesiState::Shared, &mut host);
         dev.d2h(RequestType::NC_RD, a, Time::ZERO, &mut host);
         assert_eq!(dev.hmc_state(a), Some(MesiState::Shared), "HMC unchanged");
-        assert_eq!(host.caches.llc_state(a), Some(MesiState::Shared), "LLC unchanged");
+        assert_eq!(
+            host.caches.llc_state(a),
+            Some(MesiState::Shared),
+            "LLC unchanged"
+        );
         // Miss case: no HMC allocation.
         let b = host_line(12);
         dev.d2h(RequestType::NC_RD, b, Time::ZERO, &mut host);
@@ -1049,7 +1505,10 @@ mod tests {
         let hit_lat = hit.completion.duration_since(Time::ZERO);
         let miss_lat = miss.completion.duration_since(hit.completion);
         let ratio = hit_lat.as_nanos_f64() / miss_lat.as_nanos_f64();
-        assert!((0.7..1.4).contains(&ratio), "hit {hit_lat} vs miss {miss_lat}");
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "hit {hit_lat} vs miss {miss_lat}"
+        );
     }
 
     #[test]
@@ -1127,7 +1586,10 @@ mod tests {
         let (mut host, mut dev) = setup();
         let a = device_line(600);
         dev.enter_device_bias(a, 1, Time::ZERO, &mut host);
-        assert_eq!(dev.bias.mode_of(device_byte_offset(a)), BiasMode::DeviceBias);
+        assert_eq!(
+            dev.bias.mode_of(device_byte_offset(a)),
+            BiasMode::DeviceBias
+        );
         dev.h2d_load(a, Time::from_nanos(1_000), &mut host);
         assert_eq!(
             dev.bias.mode_of(device_byte_offset(a)),
@@ -1166,8 +1628,15 @@ mod tests {
         let c = dev.h2d_load(clean, t1, &mut host);
         let dirty_lat = d.completion.duration_since(Time::ZERO);
         let clean_lat = c.completion.duration_since(t1);
-        assert!(dirty_lat > clean_lat, "dirty {dirty_lat} vs miss {clean_lat}");
-        assert_eq!(dev.dmc_state(dirty), Some(MesiState::Shared), "downgraded after writeback");
+        assert!(
+            dirty_lat > clean_lat,
+            "dirty {dirty_lat} vs miss {clean_lat}"
+        );
+        assert_eq!(
+            dev.dmc_state(dirty),
+            Some(MesiState::Shared),
+            "downgraded after writeback"
+        );
     }
 
     #[test]
@@ -1210,8 +1679,8 @@ mod tests {
         assert_eq!(dev.hmc_state(host_line(40)), None);
         assert_eq!(dev.dmc_state(device_line(41)), None);
         let c = dev.counters();
-        assert_eq!(c.hmc_writebacks, 1);
-        assert_eq!(c.dmc_writebacks, 1);
+        assert_eq!(c.get("device.hmc.writebacks"), 1);
+        assert_eq!(c.get("device.dmc.writebacks"), 1);
     }
 
     #[test]

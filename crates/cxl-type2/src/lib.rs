@@ -49,7 +49,7 @@ pub mod transfer;
 /// Common device types in one import.
 pub mod prelude {
     pub use crate::addr::{device_line, host_line, is_device_addr, DEVICE_MEM_BASE};
-    pub use crate::device::{CxlDevice, DeviceAccess, DeviceCounters};
+    pub use crate::device::{CxlDevice, DeviceAccess};
     pub use crate::lsu::{BurstTarget, Lsu};
     pub use crate::platform::Platform;
     pub use crate::timing::DeviceTiming;

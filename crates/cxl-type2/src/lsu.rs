@@ -12,6 +12,7 @@ use host::burst::{run_burst, BurstResult, BurstSpec};
 use host::socket::Socket;
 use mem_subsys::line::LineAddr;
 use sim_core::time::Time;
+use sim_core::trace::{self, Lane, TraceEvent};
 
 use crate::device::CxlDevice;
 
@@ -69,6 +70,17 @@ impl Lsu {
         addrs: &[LineAddr],
         start: Time,
     ) -> BurstResult {
+        let lane = match target {
+            BurstTarget::HostMemory => Lane::D2h,
+            BurstTarget::DeviceMemory => Lane::D2d,
+        };
+        trace::emit(
+            start,
+            TraceEvent::LsuBurst {
+                lane,
+                lines: addrs.len() as u64,
+            },
+        );
         let spec = BurstSpec::new(
             addrs.len(),
             dev.timing.lsu_issue_interval,
@@ -132,7 +144,7 @@ mod tests {
             &addrs,
             Time::ZERO,
         );
-        assert_eq!(dev.counters().d2d_requests, 16);
+        assert_eq!(dev.counters().get("device.d2d.requests"), 16);
         assert!(r.elapsed() > sim_core::time::Duration::ZERO);
     }
 

@@ -13,6 +13,7 @@ use host::socket::{Access, Socket};
 use mem_subsys::coherence::MesiState;
 use mem_subsys::line::LineAddr;
 use sim_core::time::{Duration, Time};
+use sim_core::trace::{self, SnoopKind, TraceEvent};
 
 use crate::addr::is_device_addr;
 use crate::device::CxlDevice;
@@ -48,7 +49,10 @@ pub struct Platform {
 impl Platform {
     /// The paper's testbed: Xeon socket + Agilex-7 Type-2 card.
     pub fn agilex7_testbed() -> Self {
-        Platform { host: Socket::xeon_6538y(), dev: CxlDevice::agilex7() }
+        Platform {
+            host: Socket::xeon_6538y(),
+            dev: CxlDevice::agilex7(),
+        }
     }
 
     /// Builds from parts.
@@ -59,8 +63,7 @@ impl Platform {
     /// The back-snoop round-trip cost when the host must recall a line
     /// from the device (a CXL.cache H2D snoop + D2H response).
     fn back_snoop_cost(&self) -> Duration {
-        cxl_x16().unloaded_latency(0) + cxl_x16().unloaded_latency(64)
-            + self.dev.timing.dcoh_lookup
+        cxl_x16().unloaded_latency(0) + cxl_x16().unloaded_latency(64) + self.dev.timing.dcoh_lookup
     }
 
     /// Recalls the line from the device HMC for a host *read*: M/E copies
@@ -69,10 +72,28 @@ impl Platform {
     fn recall_for_read(&mut self, addr: LineAddr, now: Time) -> Duration {
         match self.dev.hmc_state(addr) {
             Some(MesiState::Modified) => {
+                trace::emit(
+                    now,
+                    TraceEvent::Snoop {
+                        kind: SnoopKind::BackInvalidate,
+                        addr: addr.index(),
+                        hit: true,
+                        dirty: true,
+                    },
+                );
                 self.dev.writeback_and_degrade(addr, now, &mut self.host);
                 self.back_snoop_cost()
             }
             Some(MesiState::Exclusive) => {
+                trace::emit(
+                    now,
+                    TraceEvent::Snoop {
+                        kind: SnoopKind::BackInvalidate,
+                        addr: addr.index(),
+                        hit: true,
+                        dirty: false,
+                    },
+                );
                 self.dev.degrade_hmc(addr);
                 self.back_snoop_cost()
             }
@@ -85,6 +106,15 @@ impl Platform {
     fn recall_for_write(&mut self, addr: LineAddr, now: Time) -> Duration {
         match self.dev.hmc_state(addr) {
             Some(state) => {
+                trace::emit(
+                    now,
+                    TraceEvent::Snoop {
+                        kind: SnoopKind::BackInvalidate,
+                        addr: addr.index(),
+                        hit: true,
+                        dirty: state.is_dirty(),
+                    },
+                );
                 if state.is_dirty() {
                     self.dev.writeback_and_degrade(addr, now, &mut self.host);
                 }
@@ -134,7 +164,16 @@ impl Platform {
         // A full-line overwrite needs no dirty data back, only
         // invalidation.
         let extra = match self.dev.hmc_state(addr) {
-            Some(_) => {
+            Some(state) => {
+                trace::emit(
+                    now,
+                    TraceEvent::Snoop {
+                        kind: SnoopKind::BackInvalidate,
+                        addr: addr.index(),
+                        hit: true,
+                        dirty: state.is_dirty(),
+                    },
+                );
                 self.dev.invalidate_hmc(addr);
                 self.back_snoop_cost()
             }
@@ -193,7 +232,8 @@ mod tests {
         let mut p = Platform::agilex7_testbed();
         let owned = host_line(300);
         let free = host_line(301);
-        p.dev.d2h(RequestType::CO_WR, owned, Time::ZERO, &mut p.host);
+        p.dev
+            .d2h(RequestType::CO_WR, owned, Time::ZERO, &mut p.host);
         let t = Time::from_nanos(10_000);
         let slow = p.host_store(owned, t);
         let t2 = slow.completion;
@@ -219,7 +259,7 @@ mod tests {
         let a = device_line(10);
         let acc = p.host_store(a, Time::ZERO);
         assert!(acc.completion > Time::ZERO);
-        assert_eq!(p.dev.counters().h2d_requests, 1);
+        assert_eq!(p.dev.counters().get("device.h2d.requests"), 1);
     }
 
     #[test]

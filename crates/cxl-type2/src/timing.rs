@@ -86,7 +86,10 @@ mod tests {
     #[test]
     fn hierarchy_of_costs() {
         let t = DeviceTiming::default();
-        assert!(t.dmc_access <= t.hmc_access, "direct-mapped DMC is not slower than HMC");
+        assert!(
+            t.dmc_access <= t.hmc_access,
+            "direct-mapped DMC is not slower than HMC"
+        );
         assert!(t.h2d_dirty_writeback > t.h2d_state_downgrade);
         assert!(t.h2d_dmc_check < t.h2d_processing);
     }

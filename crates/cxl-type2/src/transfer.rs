@@ -56,7 +56,9 @@ pub fn h2d_load_bytes(
         host.timing.core_issue_interval,
         host.timing.max_outstanding_loads,
     );
-    let r = run_burst(spec, now, |i, t| dev.h2d_load(start.offset(i as u64), t, host).completion);
+    let r = run_burst(spec, now, |i, t| {
+        dev.h2d_load(start.offset(i as u64), t, host).completion
+    });
     r.last_completion
 }
 
@@ -71,10 +73,14 @@ pub fn d2h_read_bytes(
     now: Time,
 ) -> Time {
     let n = lines_for(bytes);
-    let spec =
-        BurstSpec::new(n as usize, dev.timing.lsu_issue_interval, dev.timing.lsu_max_outstanding);
+    let spec = BurstSpec::new(
+        n as usize,
+        dev.timing.lsu_issue_interval,
+        dev.timing.lsu_max_outstanding,
+    );
     let r = run_burst(spec, now, |i, t| {
-        dev.d2h(RequestType::NC_RD, start.offset(i as u64), t, host).completion
+        dev.d2h(RequestType::NC_RD, start.offset(i as u64), t, host)
+            .completion
     });
     r.last_completion
 }
@@ -90,10 +96,14 @@ pub fn d2h_push_bytes(
     now: Time,
 ) -> Time {
     let n = lines_for(bytes);
-    let spec =
-        BurstSpec::new(n as usize, dev.timing.lsu_issue_interval, dev.timing.lsu_max_outstanding);
+    let spec = BurstSpec::new(
+        n as usize,
+        dev.timing.lsu_issue_interval,
+        dev.timing.lsu_max_outstanding,
+    );
     let r = run_burst(spec, now, |i, t| {
-        dev.d2h(RequestType::NC_P, start.offset(i as u64), t, host).completion
+        dev.d2h(RequestType::NC_P, start.offset(i as u64), t, host)
+            .completion
     });
     r.last_completion
 }
@@ -108,10 +118,14 @@ pub fn d2h_write_bytes(
     now: Time,
 ) -> Time {
     let n = lines_for(bytes);
-    let spec =
-        BurstSpec::new(n as usize, dev.timing.lsu_issue_interval, dev.timing.lsu_max_outstanding);
+    let spec = BurstSpec::new(
+        n as usize,
+        dev.timing.lsu_issue_interval,
+        dev.timing.lsu_max_outstanding,
+    );
     let r = run_burst(spec, now, |i, t| {
-        dev.d2h(RequestType::NC_WR, start.offset(i as u64), t, host).completion
+        dev.d2h(RequestType::NC_WR, start.offset(i as u64), t, host)
+            .completion
     });
     r.last_completion
 }

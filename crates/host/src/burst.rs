@@ -29,8 +29,15 @@ impl BurstSpec {
     /// Panics if `n` or `max_outstanding` is zero.
     pub fn new(n: usize, issue_interval: Duration, max_outstanding: usize) -> Self {
         assert!(n > 0, "burst must contain at least one request");
-        assert!(max_outstanding > 0, "burst needs at least one outstanding slot");
-        BurstSpec { n, issue_interval, max_outstanding }
+        assert!(
+            max_outstanding > 0,
+            "burst needs at least one outstanding slot"
+        );
+        BurstSpec {
+            n,
+            issue_interval,
+            max_outstanding,
+        }
     }
 }
 
@@ -53,7 +60,10 @@ impl BurstResult {
 
     /// Achieved bandwidth for `bytes_per_request` per request.
     pub fn bandwidth_gbps(&self, bytes_per_request: u64) -> f64 {
-        bandwidth_gbps(self.latencies.len() as u64 * bytes_per_request, self.elapsed())
+        bandwidth_gbps(
+            self.latencies.len() as u64 * bytes_per_request,
+            self.elapsed(),
+        )
     }
 
     /// Mean single-request latency.
@@ -103,7 +113,11 @@ pub fn run_burst(
         last_completion = last_completion.max(completion);
         next_issue = issue + spec.issue_interval;
     }
-    BurstResult { first_issue, last_completion, latencies }
+    BurstResult {
+        first_issue,
+        last_completion,
+        latencies,
+    }
 }
 
 #[cfg(test)]

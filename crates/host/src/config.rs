@@ -57,6 +57,8 @@ mod tests {
         let dev = device_spec();
         assert_eq!(dev.len(), 2);
         assert!(dev.iter().any(|r| r.description.contains("DDR4-2400")));
-        assert!(dev.iter().any(|r| r.description.contains("BF-3") || r.component.contains("BF-3")));
+        assert!(dev
+            .iter()
+            .any(|r| r.description.contains("BF-3") || r.component.contains("BF-3")));
     }
 }

@@ -334,7 +334,11 @@ mod tests {
             reported += dirty.len();
         }
         let resident = (0..n).filter(|&i| h.contains(line(i))).count();
-        assert_eq!(resident + reported, n as usize, "no dirty line silently dropped");
+        assert_eq!(
+            resident + reported,
+            n as usize,
+            "no dirty line silently dropped"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use cxl_proto::link::{upi, Link};
 use mem_subsys::line::LineAddr;
 use sim_core::time::{Duration, Time};
+use sim_core::trace::{self, TraceEvent};
 
 use crate::socket::{HomeAccess, Socket};
 
@@ -46,7 +47,11 @@ impl NumaSystem {
     /// Builds the paper's dual-socket testbed (Table II) with default UPI
     /// links.
     pub fn xeon_dual_socket() -> Self {
-        NumaSystem { home: Socket::xeon_6538y(), req: upi(), resp: upi() }
+        NumaSystem {
+            home: Socket::xeon_6538y(),
+            req: upi(),
+            resp: upi(),
+        }
     }
 
     /// Builds from explicit parts.
@@ -61,9 +66,24 @@ impl NumaSystem {
     /// Remote temporal load (`ld`): RdShared at the home agent, data back.
     pub fn remote_load(&mut self, addr: LineAddr, now: Time) -> HomeAccess {
         let arrive = self.req.deliver(self.issue(now), REQ_BYTES);
+        trace::emit(
+            arrive,
+            TraceEvent::UpiTransfer {
+                bytes: REQ_BYTES,
+                write: false,
+            },
+        );
         let served = self.home.home_read_shared(addr, arrive, Duration::ZERO);
+        let completion = self.resp.deliver(served.completion, DATA_BYTES);
+        trace::emit(
+            completion,
+            TraceEvent::UpiTransfer {
+                bytes: DATA_BYTES,
+                write: false,
+            },
+        );
         HomeAccess {
-            completion: self.resp.deliver(served.completion, DATA_BYTES),
+            completion,
             llc_hit: served.llc_hit,
         }
     }
@@ -71,9 +91,24 @@ impl NumaSystem {
     /// Remote non-temporal load (`nt-ld`): RdCurr semantics.
     pub fn remote_nt_load(&mut self, addr: LineAddr, now: Time) -> HomeAccess {
         let arrive = self.req.deliver(self.issue(now), REQ_BYTES);
+        trace::emit(
+            arrive,
+            TraceEvent::UpiTransfer {
+                bytes: REQ_BYTES,
+                write: false,
+            },
+        );
         let served = self.home.home_read_current(addr, arrive, Duration::ZERO);
+        let completion = self.resp.deliver(served.completion, DATA_BYTES);
+        trace::emit(
+            completion,
+            TraceEvent::UpiTransfer {
+                bytes: DATA_BYTES,
+                write: false,
+            },
+        );
         HomeAccess {
-            completion: self.resp.deliver(served.completion, DATA_BYTES),
+            completion,
             llc_hit: served.llc_hit,
         }
     }
@@ -82,8 +117,22 @@ impl NumaSystem {
     /// commit; globally visible once the data response returns.
     pub fn remote_store(&mut self, addr: LineAddr, now: Time) -> HomeAccess {
         let arrive = self.req.deliver(self.issue(now), REQ_BYTES);
+        trace::emit(
+            arrive,
+            TraceEvent::UpiTransfer {
+                bytes: REQ_BYTES,
+                write: true,
+            },
+        );
         let served = self.home.home_read_own(addr, arrive, Duration::ZERO);
         let owned = self.resp.deliver(served.completion, DATA_BYTES);
+        trace::emit(
+            owned,
+            TraceEvent::UpiTransfer {
+                bytes: DATA_BYTES,
+                write: true,
+            },
+        );
         HomeAccess {
             completion: owned + self.home.timing.store_commit,
             llc_hit: served.llc_hit,
@@ -94,6 +143,13 @@ impl NumaSystem {
     /// and completes on the home write-queue admission.
     pub fn remote_nt_store(&mut self, addr: LineAddr, now: Time) -> HomeAccess {
         let arrive = self.req.deliver(self.issue(now), DATA_BYTES);
+        trace::emit(
+            arrive,
+            TraceEvent::UpiTransfer {
+                bytes: DATA_BYTES,
+                write: true,
+            },
+        );
         self.home.home_write_memory(addr, arrive, Duration::ZERO)
     }
 

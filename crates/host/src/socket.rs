@@ -14,6 +14,7 @@
 use mem_subsys::dram::{DramTech, MemorySystem};
 use mem_subsys::line::LineAddr;
 use sim_core::time::{Duration, Time};
+use sim_core::trace::{self, CacheId, MemId, SnoopKind, TraceEvent};
 
 use crate::hierarchy::{CacheHierarchy, HitLevel};
 use crate::timing::HostTiming;
@@ -66,7 +67,11 @@ pub struct Socket {
 impl Socket {
     /// Builds a socket with explicit parts.
     pub fn new(caches: CacheHierarchy, mem: MemorySystem, timing: HostTiming) -> Self {
-        Socket { caches, mem, timing }
+        Socket {
+            caches,
+            mem,
+            timing,
+        }
     }
 
     /// The paper's socket: Xeon 6538Y+ hierarchy with 8 × DDR5-4800
@@ -101,6 +106,20 @@ impl Socket {
     fn writeback_victims(&mut self, victims: &[mem_subsys::cache::Evicted], now: Time) {
         for v in victims {
             // Background write-back; producer is not blocked.
+            trace::emit(
+                now,
+                TraceEvent::CacheWriteback {
+                    cache: CacheId::HostLlc,
+                    addr: v.addr.index(),
+                },
+            );
+            trace::emit(
+                now,
+                TraceEvent::MemWrite {
+                    mem: MemId::HostDram,
+                    addr: v.addr.index(),
+                },
+            );
             let _ = self.mem.write(v.addr, now);
         }
     }
@@ -196,12 +215,40 @@ impl Socket {
             // RdCurr mutates no coherence state: only half the agent
             // penalty applies (the paper's NC-rd premium is the smallest).
             Some(_) => {
-                HomeAccess { completion: t + extra / 2 + self.timing.llc, llc_hit: true }
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::HostLlc,
+                        addr: addr.index(),
+                        hit: true,
+                    },
+                );
+                HomeAccess {
+                    completion: t + extra / 2 + self.timing.llc,
+                    llc_hit: true,
+                }
             }
-            None => HomeAccess {
-                completion: self.mem.read(addr, t + self.timing.llc_lookup),
-                llc_hit: false,
-            },
+            None => {
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::HostLlc,
+                        addr: addr.index(),
+                        hit: false,
+                    },
+                );
+                trace::emit(
+                    t,
+                    TraceEvent::MemRead {
+                        mem: MemId::HostDram,
+                        addr: addr.index(),
+                    },
+                );
+                HomeAccess {
+                    completion: self.mem.read(addr, t + self.timing.llc_lookup),
+                    llc_hit: false,
+                }
+            }
         }
     }
 
@@ -211,15 +258,58 @@ impl Socket {
         let t = self.home_arrival(now);
         match self.caches.llc_state(addr) {
             Some(_) => {
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::HostLlc,
+                        addr: addr.index(),
+                        hit: true,
+                    },
+                );
                 if self.caches.degrade_to_shared(addr) {
+                    trace::emit(
+                        t,
+                        TraceEvent::MemWrite {
+                            mem: MemId::HostDram,
+                            addr: addr.index(),
+                        },
+                    );
                     let _ = self.mem.write(addr, t);
                 }
-                HomeAccess { completion: t + extra + self.timing.llc, llc_hit: true }
+                trace::emit(
+                    t,
+                    TraceEvent::CacheState {
+                        cache: CacheId::HostLlc,
+                        addr: addr.index(),
+                        state: trace::LineState::Shared,
+                    },
+                );
+                HomeAccess {
+                    completion: t + extra + self.timing.llc,
+                    llc_hit: true,
+                }
             }
-            None => HomeAccess {
-                completion: self.mem.read(addr, t + self.timing.llc_lookup),
-                llc_hit: false,
-            },
+            None => {
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::HostLlc,
+                        addr: addr.index(),
+                        hit: false,
+                    },
+                );
+                trace::emit(
+                    t,
+                    TraceEvent::MemRead {
+                        mem: MemId::HostDram,
+                        addr: addr.index(),
+                    },
+                );
+                HomeAccess {
+                    completion: self.mem.read(addr, t + self.timing.llc_lookup),
+                    llc_hit: false,
+                }
+            }
         }
     }
 
@@ -229,9 +319,24 @@ impl Socket {
         let t = self.home_arrival(now);
         match self.caches.llc_state(addr) {
             Some(_) => {
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::HostLlc,
+                        addr: addr.index(),
+                        hit: true,
+                    },
+                );
                 // Dirty data transfers to the new owner; no memory
                 // write-back needed (ownership moves with the data).
                 self.caches.invalidate(addr);
+                trace::emit(
+                    t,
+                    TraceEvent::CacheInvalidate {
+                        cache: CacheId::HostLlc,
+                        addr: addr.index(),
+                    },
+                );
                 // Invalidating transfers are directory-like; half penalty.
                 HomeAccess {
                     completion: t + extra / 2 + self.timing.llc + self.timing.snoop_invalidate,
@@ -239,6 +344,21 @@ impl Socket {
                 }
             }
             None => {
+                trace::emit(
+                    t,
+                    TraceEvent::CacheAccess {
+                        cache: CacheId::HostLlc,
+                        addr: addr.index(),
+                        hit: false,
+                    },
+                );
+                trace::emit(
+                    t,
+                    TraceEvent::MemRead {
+                        mem: MemId::HostDram,
+                        addr: addr.index(),
+                    },
+                );
                 // Ownership reads still pay a directory update on the miss
                 // path, so a reduced share of the penalty applies.
                 let t = t + extra / 2;
@@ -256,24 +376,53 @@ impl Socket {
     pub fn home_write_memory(&mut self, addr: LineAddr, now: Time, extra: Duration) -> HomeAccess {
         let t = self.home_arrival(now);
         let had = self.caches.llc_state(addr).is_some();
+        trace::emit(
+            t,
+            TraceEvent::CacheAccess {
+                cache: CacheId::HostLlc,
+                addr: addr.index(),
+                hit: had,
+            },
+        );
         let t = if had {
             self.caches.invalidate(addr);
+            trace::emit(
+                t,
+                TraceEvent::CacheInvalidate {
+                    cache: CacheId::HostLlc,
+                    addr: addr.index(),
+                },
+            );
             t + extra / 2 + self.timing.snoop_invalidate
         } else {
             // Non-allocating writes still pass the coherence engine before
             // the write queue; half the penalty applies.
             t + extra / 2 + self.timing.llc_lookup
         };
-        HomeAccess { completion: self.mem.write(addr, t), llc_hit: had }
+        trace::emit(
+            t,
+            TraceEvent::MemWrite {
+                mem: MemId::HostDram,
+                addr: addr.index(),
+            },
+        );
+        HomeAccess {
+            completion: self.mem.write(addr, t),
+            llc_hit: had,
+        }
     }
 
     /// Pushes a full line into the LLC in Modified state (CXL ItoMWr as
     /// used by NC-P, and DDIO-style DMA writes).
     pub fn home_push_llc(&mut self, addr: LineAddr, now: Time, extra: Duration) -> HomeAccess {
         let t = self.home_arrival(now) + extra;
+        trace::emit(t, TraceEvent::LlcPush { addr: addr.index() });
         let victims = self.caches.push_llc_modified(addr);
         self.writeback_victims(&victims, t);
-        HomeAccess { completion: t + self.timing.llc, llc_hit: true }
+        HomeAccess {
+            completion: t + self.timing.llc,
+            llc_hit: true,
+        }
     }
 
     // ---------------------------------------------------------------
@@ -287,7 +436,7 @@ impl Socket {
     /// Snoops for the current value without a state change (SnpCur).
     pub fn snoop_current(&mut self, addr: LineAddr, now: Time, extra: Duration) -> SnoopResult {
         let t = self.home_arrival(now);
-        match self.caches.llc_state(addr) {
+        let r = match self.caches.llc_state(addr) {
             Some(s) => SnoopResult {
                 completion: t + extra + self.timing.llc,
                 hit: true,
@@ -298,13 +447,23 @@ impl Socket {
                 hit: false,
                 was_dirty: false,
             },
-        }
+        };
+        trace::emit(
+            t,
+            TraceEvent::Snoop {
+                kind: SnoopKind::Current,
+                addr: addr.index(),
+                hit: r.hit,
+                dirty: r.was_dirty,
+            },
+        );
+        r
     }
 
     /// Snoops and degrades host copies to Shared (SnpData).
     pub fn snoop_shared(&mut self, addr: LineAddr, now: Time, extra: Duration) -> SnoopResult {
         let t = self.home_arrival(now);
-        match self.caches.llc_state(addr) {
+        let r = match self.caches.llc_state(addr) {
             Some(s) => {
                 self.caches.degrade_to_shared(addr);
                 SnoopResult {
@@ -318,14 +477,24 @@ impl Socket {
                 hit: false,
                 was_dirty: false,
             },
-        }
+        };
+        trace::emit(
+            t,
+            TraceEvent::Snoop {
+                kind: SnoopKind::Shared,
+                addr: addr.index(),
+                hit: r.hit,
+                dirty: r.was_dirty,
+            },
+        );
+        r
     }
 
     /// Snoops and invalidates host copies (SnpInv); the dirty data, if any,
     /// is forwarded to the requester rather than written back here.
     pub fn snoop_invalidate(&mut self, addr: LineAddr, now: Time, extra: Duration) -> SnoopResult {
         let t = self.home_arrival(now);
-        match self.caches.llc_state(addr) {
+        let r = match self.caches.llc_state(addr) {
             Some(s) => {
                 self.caches.invalidate(addr);
                 SnoopResult {
@@ -339,7 +508,17 @@ impl Socket {
                 hit: false,
                 was_dirty: false,
             },
-        }
+        };
+        trace::emit(
+            t,
+            TraceEvent::Snoop {
+                kind: SnoopKind::Invalidate,
+                addr: addr.index(),
+                hit: r.hit,
+                dirty: r.was_dirty,
+            },
+        );
+        r
     }
 }
 
@@ -503,7 +682,11 @@ mod tests {
         let (r0, _) = s.mem.op_counts();
         let cur = s.snoop_current(line(20), Time::from_nanos(100), Duration::ZERO);
         assert!(cur.hit && cur.was_dirty);
-        assert_eq!(s.caches.llc_state(line(20)), Some(MesiState::Modified), "SnpCur no change");
+        assert_eq!(
+            s.caches.llc_state(line(20)),
+            Some(MesiState::Modified),
+            "SnpCur no change"
+        );
         let sh = s.snoop_shared(line(20), cur.completion, Duration::ZERO);
         assert!(sh.hit && sh.was_dirty);
         assert_eq!(s.caches.llc_state(line(20)), Some(MesiState::Shared));

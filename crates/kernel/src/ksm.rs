@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use accel::compare::PageCompare;
 use host::socket::Socket;
 use sim_core::time::{Duration, Time};
+use sim_core::trace::{self, KsmStep, TraceEvent};
 
 use crate::offload::OffloadBackend;
 use crate::page::{PageData, PAGE_SIZE};
@@ -70,9 +71,7 @@ enum PageState {
     /// An ordinary, writable page with its own frame.
     Normal,
     /// Merged: this page's frame was freed; reads go to the stable node.
-    Merged {
-        stable: usize,
-    },
+    Merged { stable: usize },
 }
 
 #[derive(Debug, Clone)]
@@ -113,7 +112,12 @@ impl Tree {
     ) -> (TreeSearch, u64) {
         let mut comparisons = 0;
         let Some(mut cur) = self.root else {
-            self.nodes.push(Node { data: page.to_vec(), left: None, right: None, sharers: 1 });
+            self.nodes.push(Node {
+                data: page.to_vec(),
+                left: None,
+                right: None,
+                sharers: 1,
+            });
             self.root = Some(0);
             return (TreeSearch::InsertedAt(0), 0);
         };
@@ -124,8 +128,11 @@ impl Tree {
                 PageCompare::Identical => return (TreeSearch::Found(cur), comparisons),
                 PageCompare::DiffersAt { ordering, .. } => {
                     let go_left = ordering == std::cmp::Ordering::Less;
-                    let next =
-                        if go_left { self.nodes[cur].left } else { self.nodes[cur].right };
+                    let next = if go_left {
+                        self.nodes[cur].left
+                    } else {
+                        self.nodes[cur].right
+                    };
                     match next {
                         Some(next) => cur = next,
                         None => {
@@ -242,6 +249,14 @@ impl<B: OffloadBackend> Ksm<B> {
         if let PageState::Merged { stable } = self.pages[id.0].1 {
             self.stable.nodes[stable].sharers -= 1;
             self.stats.cow_breaks += 1;
+            trace::emit(
+                Time::ZERO,
+                TraceEvent::Ksm {
+                    step: KsmStep::CowBreak,
+                    page: id.0 as u64,
+                    aux: stable as u64,
+                },
+            );
         }
         self.pages[id.0] = (data, PageState::Normal);
     }
@@ -250,9 +265,21 @@ impl<B: OffloadBackend> Ksm<B> {
     pub fn scan_page(&mut self, id: KsmPageId, now: Time, host: &mut Socket) -> KsmOp {
         if self.is_merged(id) {
             // Already sharing; nothing to do.
-            return KsmOp { completion: now, host_cpu: Duration::ZERO, outcome: ScanOutcome::MergedStable };
+            return KsmOp {
+                completion: now,
+                host_cpu: Duration::ZERO,
+                outcome: ScanOutcome::MergedStable,
+            };
         }
         self.stats.pages_scanned += 1;
+        trace::emit(
+            now,
+            TraceEvent::Ksm {
+                step: KsmStep::ScanBegin,
+                page: id.0 as u64,
+                aux: 0,
+            },
+        );
         // Checksum hint (disjoint field borrows: backend vs pages — no
         // page copy needed for the common volatile/first-scan outcomes).
         let sum = self.backend.checksum(&self.pages[id.0].0, now, host);
@@ -261,11 +288,27 @@ impl<B: OffloadBackend> Ksm<B> {
         match self.checksums.insert(id, sum.value) {
             None => {
                 // First sighting: record and wait for the next cycle.
-                return KsmOp { completion: t, host_cpu: cpu, outcome: ScanOutcome::FirstScan };
+                return KsmOp {
+                    completion: t,
+                    host_cpu: cpu,
+                    outcome: ScanOutcome::FirstScan,
+                };
             }
             Some(prev) if prev != sum.value => {
                 self.stats.volatile_skips += 1;
-                return KsmOp { completion: t, host_cpu: cpu, outcome: ScanOutcome::Volatile };
+                trace::emit(
+                    t,
+                    TraceEvent::Ksm {
+                        step: KsmStep::ChecksumVolatile,
+                        page: id.0 as u64,
+                        aux: sum.value as u64,
+                    },
+                );
+                return KsmOp {
+                    completion: t,
+                    host_cpu: cpu,
+                    outcome: ScanOutcome::Volatile,
+                };
             }
             Some(_) => {}
         }
@@ -280,17 +323,30 @@ impl<B: OffloadBackend> Ksm<B> {
             *cpu += out.host_cpu;
             out.value
         };
-        let (result, comparisons) =
-            self.stable.search_or_insert_probe(&page, |a, b| compare_timed(a, b, &mut t, &mut cpu));
+        let (result, comparisons) = self
+            .stable
+            .search_or_insert_probe(&page, |a, b| compare_timed(a, b, &mut t, &mut cpu));
         self.stats.comparisons += comparisons;
         if let Some(stable_idx) = result {
             self.stable.nodes[stable_idx].sharers += 1;
             self.pages[id.0].1 = PageState::Merged { stable: stable_idx };
             self.pages[id.0].0 = Vec::new(); // frame freed
             self.stats.pages_merged += 1;
+            trace::emit(
+                t,
+                TraceEvent::Ksm {
+                    step: KsmStep::MergedStable,
+                    page: id.0 as u64,
+                    aux: stable_idx as u64,
+                },
+            );
             // Page-table update + CoW protection.
             cpu += Duration::from_nanos(600);
-            return KsmOp { completion: t, host_cpu: cpu, outcome: ScanOutcome::MergedStable };
+            return KsmOp {
+                completion: t,
+                host_cpu: cpu,
+                outcome: ScanOutcome::MergedStable,
+            };
         }
         // Unstable-tree search.
         let backend = &mut self.backend;
@@ -300,8 +356,9 @@ impl<B: OffloadBackend> Ksm<B> {
             *cpu += out.host_cpu;
             out.value
         };
-        let (search, comparisons) =
-            self.unstable.search_or_insert(&page, |a, b| compare_timed(a, b, &mut t, &mut cpu));
+        let (search, comparisons) = self
+            .unstable
+            .search_or_insert(&page, |a, b| compare_timed(a, b, &mut t, &mut cpu));
         self.stats.comparisons += comparisons;
         match search {
             TreeSearch::Found(_) => {
@@ -314,18 +371,47 @@ impl<B: OffloadBackend> Ksm<B> {
                 self.pages[id.0].0 = Vec::new();
                 self.stats.pages_merged += 1;
                 self.stats.stable_nodes += 1;
+                trace::emit(
+                    t,
+                    TraceEvent::Ksm {
+                        step: KsmStep::MergedUnstable,
+                        page: id.0 as u64,
+                        aux: stable_idx as u64,
+                    },
+                );
                 cpu += Duration::from_nanos(1_200);
-                KsmOp { completion: t, host_cpu: cpu, outcome: ScanOutcome::MergedUnstable }
+                KsmOp {
+                    completion: t,
+                    host_cpu: cpu,
+                    outcome: ScanOutcome::MergedUnstable,
+                }
             }
             TreeSearch::InsertedAt(_) => {
-                KsmOp { completion: t, host_cpu: cpu, outcome: ScanOutcome::Unstable }
+                trace::emit(
+                    t,
+                    TraceEvent::Ksm {
+                        step: KsmStep::UnstableInsert,
+                        page: id.0 as u64,
+                        aux: comparisons,
+                    },
+                );
+                KsmOp {
+                    completion: t,
+                    host_cpu: cpu,
+                    outcome: ScanOutcome::Unstable,
+                }
             }
         }
     }
 
     /// Runs one full scan cycle over `ids`: the unstable tree is rebuilt
     /// each cycle (as in the kernel). Returns (completion, host CPU).
-    pub fn scan_cycle(&mut self, ids: &[KsmPageId], now: Time, host: &mut Socket) -> (Time, Duration) {
+    pub fn scan_cycle(
+        &mut self,
+        ids: &[KsmPageId],
+        now: Time,
+        host: &mut Socket,
+    ) -> (Time, Duration) {
         self.unstable.clear();
         let mut t = now;
         let mut cpu = Duration::ZERO;
@@ -346,7 +432,9 @@ impl Tree {
         mut compare: impl FnMut(&[u8], &[u8]) -> PageCompare,
     ) -> (Option<usize>, u64) {
         let mut comparisons = 0;
-        let Some(mut cur) = self.root else { return (None, 0) };
+        let Some(mut cur) = self.root else {
+            return (None, 0);
+        };
         loop {
             comparisons += 1;
             match compare(page, &self.nodes[cur].data) {
@@ -370,7 +458,12 @@ impl Tree {
     /// for stable-node creation where the search already ran).
     fn insert_unbalanced(&mut self, data: PageData) -> usize {
         let idx = self.nodes.len();
-        let node = Node { data, left: None, right: None, sharers: 0 };
+        let node = Node {
+            data,
+            left: None,
+            right: None,
+            sharers: 0,
+        };
         let Some(mut cur) = self.root else {
             self.nodes.push(node);
             self.root = Some(idx);
@@ -412,7 +505,11 @@ mod tests {
         let mut ksm = Ksm::new(CpuBackend::new());
         let ids: Vec<_> = (0..4).map(|_| ksm.register(vec![9u8; PAGE_SIZE])).collect();
         ksm.scan_cycle(&ids, Time::ZERO, &mut h);
-        assert_eq!(ksm.stats().pages_merged, 0, "first cycle only records checksums");
+        assert_eq!(
+            ksm.stats().pages_merged,
+            0,
+            "first cycle only records checksums"
+        );
         ksm.scan_cycle(&ids, Time::ZERO, &mut h);
         // The first page seeds the unstable tree; the other three merge.
         assert_eq!(ksm.stats().pages_merged, 3);
@@ -429,8 +526,9 @@ mod tests {
         let mut h = host();
         let mut ksm = Ksm::new(CpuBackend::new());
         let mut rng = SimRng::seed_from(1);
-        let ids: Vec<_> =
-            (0..4).map(|_| ksm.register(PageContent::Random.generate(&mut rng))).collect();
+        let ids: Vec<_> = (0..4)
+            .map(|_| ksm.register(PageContent::Random.generate(&mut rng)))
+            .collect();
         ksm.scan_cycle(&ids, Time::ZERO, &mut h);
         ksm.scan_cycle(&ids, Time::ZERO, &mut h);
         assert_eq!(ksm.stats().pages_merged, 0);
@@ -462,7 +560,11 @@ mod tests {
         ksm.write_page(a, vec![6u8; PAGE_SIZE]);
         assert!(!ksm.is_merged(a));
         assert_eq!(ksm.read_page(a), vec![6u8; PAGE_SIZE].as_slice());
-        assert_eq!(ksm.read_page(b), vec![5u8; PAGE_SIZE].as_slice(), "twin unaffected");
+        assert_eq!(
+            ksm.read_page(b),
+            vec![5u8; PAGE_SIZE].as_slice(),
+            "twin unaffected"
+        );
         assert_eq!(ksm.stats().cow_breaks, 1);
     }
 
@@ -507,8 +609,9 @@ mod tests {
         let mut ksm_cpu = Ksm::new(CpuBackend::new());
         let mut ksm_cxl = Ksm::new(CxlBackend::agilex7());
         let mut rng = SimRng::seed_from(4);
-        let pages: Vec<PageData> =
-            (0..20).map(|i| PageContent::Duplicate { id: i % 4 }.generate(&mut rng)).collect();
+        let pages: Vec<PageData> = (0..20)
+            .map(|i| PageContent::Duplicate { id: i % 4 }.generate(&mut rng))
+            .collect();
         let ids1: Vec<_> = pages.iter().map(|p| ksm_cpu.register(p.clone())).collect();
         let ids2: Vec<_> = pages.iter().map(|p| ksm_cxl.register(p.clone())).collect();
         let (_, cpu1a) = ksm_cpu.scan_cycle(&ids1, Time::ZERO, &mut h1);

@@ -28,6 +28,7 @@ use host::socket::Socket;
 use pcie::dma::{CompletionModel, PcieDma};
 use pcie::rdma::RdmaEngine;
 use sim_core::time::{Duration, Time};
+use sim_core::trace::{self, BackendId, OffloadFn, OffloadStep, TraceEvent};
 
 /// Step-level latency breakdown of one offloaded invocation (Table IV).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -73,8 +74,12 @@ pub trait OffloadBackend {
     }
 
     /// Compresses a page.
-    fn compress(&mut self, page: &[u8], now: Time, host: &mut Socket)
-        -> OffloadOutcome<CompressedPage>;
+    fn compress(
+        &mut self,
+        page: &[u8],
+        now: Time,
+        host: &mut Socket,
+    ) -> OffloadOutcome<CompressedPage>;
 
     /// Decompresses a page from the zpool.
     fn decompress(
@@ -98,7 +103,81 @@ pub trait OffloadBackend {
 }
 
 fn decompress_or_panic(cp: &CompressedPage) -> Vec<u8> {
-    cp.decompress().expect("zpool entries are produced by our own compressor")
+    cp.decompress()
+        .expect("zpool entries are produced by our own compressor")
+}
+
+/// The trace identity of an accelerated function.
+fn offload_fn(f: Function) -> OffloadFn {
+    match f {
+        Function::Compress => OffloadFn::Compress,
+        Function::Decompress => OffloadFn::Decompress,
+        Function::Checksum => OffloadFn::Checksum,
+        Function::Compare => OffloadFn::Compare,
+    }
+}
+
+/// Emits the five-step offload lifecycle (Table IV's ①②④⑤ plus the
+/// completion) derived from an invocation's [`Breakdown`].
+fn emit_offload_steps(
+    backend: BackendId,
+    func: OffloadFn,
+    bytes: u64,
+    start: Time,
+    b: &Breakdown,
+    completion: Time,
+) {
+    if !trace::is_active() {
+        return;
+    }
+    let t1 = start + b.dispatch;
+    let t2 = t1 + b.transfer_in;
+    let t3 = t2 + b.compute;
+    trace::emit(
+        start,
+        TraceEvent::Offload {
+            backend,
+            func,
+            step: OffloadStep::Dispatch,
+            bytes,
+        },
+    );
+    trace::emit(
+        t1,
+        TraceEvent::Offload {
+            backend,
+            func,
+            step: OffloadStep::TransferIn,
+            bytes,
+        },
+    );
+    trace::emit(
+        t2,
+        TraceEvent::Offload {
+            backend,
+            func,
+            step: OffloadStep::Compute,
+            bytes,
+        },
+    );
+    trace::emit(
+        t3,
+        TraceEvent::Offload {
+            backend,
+            func,
+            step: OffloadStep::TransferOut,
+            bytes,
+        },
+    );
+    trace::emit(
+        completion,
+        TraceEvent::Offload {
+            backend,
+            func,
+            step: OffloadStep::Complete,
+            bytes,
+        },
+    );
 }
 
 // =====================================================================
@@ -118,11 +197,24 @@ impl CpuBackend {
 
     fn run<T>(&self, f: Function, bytes: u64, value: T, now: Time) -> OffloadOutcome<T> {
         let t = Engine::HostCpu.execution_time(f, bytes);
+        let breakdown = Breakdown {
+            compute: t,
+            total: t,
+            ..Breakdown::default()
+        };
+        emit_offload_steps(
+            BackendId::Cpu,
+            offload_fn(f),
+            bytes,
+            now,
+            &breakdown,
+            now + t,
+        );
         OffloadOutcome {
             value,
             completion: now + t,
             host_cpu: t,
-            breakdown: Breakdown { compute: t, total: t, ..Breakdown::default() },
+            breakdown,
         }
     }
 }
@@ -142,7 +234,12 @@ impl OffloadBackend for CpuBackend {
         now: Time,
         _host: &mut Socket,
     ) -> OffloadOutcome<CompressedPage> {
-        self.run(Function::Compress, page.len() as u64, CompressedPage::from_page(page), now)
+        self.run(
+            Function::Compress,
+            page.len() as u64,
+            CompressedPage::from_page(page),
+            now,
+        )
     }
 
     fn decompress(
@@ -151,11 +248,21 @@ impl OffloadBackend for CpuBackend {
         now: Time,
         _host: &mut Socket,
     ) -> OffloadOutcome<Vec<u8>> {
-        self.run(Function::Decompress, cp.original_len as u64, decompress_or_panic(cp), now)
+        self.run(
+            Function::Decompress,
+            cp.original_len as u64,
+            decompress_or_panic(cp),
+            now,
+        )
     }
 
     fn checksum(&mut self, page: &[u8], now: Time, _host: &mut Socket) -> OffloadOutcome<u32> {
-        self.run(Function::Checksum, page.len() as u64, page_checksum(page), now)
+        self.run(
+            Function::Checksum,
+            page.len() as u64,
+            page_checksum(page),
+            now,
+        )
     }
 
     fn compare(
@@ -223,17 +330,26 @@ impl PcieRdmaBackend {
         let t_out_done =
             self.rdma.transfer(t_compute_done, out_bytes) + self.verb_overhead + self.interrupt_cpu;
         let transfer_out = t_out_done.duration_since(t_compute_done);
+        let breakdown = Breakdown {
+            dispatch,
+            transfer_in,
+            compute,
+            transfer_out,
+            total: t_out_done.duration_since(t0),
+        };
+        emit_offload_steps(
+            BackendId::PcieRdma,
+            offload_fn(f),
+            in_bytes,
+            now,
+            &breakdown,
+            t_out_done,
+        );
         OffloadOutcome {
             value,
             completion: t_out_done,
             host_cpu,
-            breakdown: Breakdown {
-                dispatch,
-                transfer_in,
-                compute,
-                transfer_out,
-                total: t_out_done.duration_since(t0),
-            },
+            breakdown,
         }
     }
 
@@ -290,7 +406,14 @@ impl OffloadBackend for PcieRdmaBackend {
 
     fn checksum(&mut self, page: &[u8], now: Time, _host: &mut Socket) -> OffloadOutcome<u32> {
         let cost = self.polled_cost();
-        self.run(Function::Checksum, page.len() as u64, 8, page_checksum(page), now, cost)
+        self.run(
+            Function::Checksum,
+            page.len() as u64,
+            8,
+            page_checksum(page),
+            now,
+            cost,
+        )
     }
 
     fn compare(
@@ -353,17 +476,26 @@ impl PcieDmaBackend {
         // ⑤ DMA the result back + interrupt.
         let t_out_done = self.dma.transfer(t_compute_done, out_bytes) + self.interrupt_cpu;
         let transfer_out = t_out_done.duration_since(t_compute_done);
+        let breakdown = Breakdown {
+            dispatch,
+            transfer_in,
+            compute,
+            transfer_out,
+            total: t_out_done.duration_since(t0),
+        };
+        emit_offload_steps(
+            BackendId::PcieDma,
+            offload_fn(f),
+            in_bytes,
+            now,
+            &breakdown,
+            t_out_done,
+        );
         OffloadOutcome {
             value,
             completion: t_out_done,
             host_cpu,
-            breakdown: Breakdown {
-                dispatch,
-                transfer_in,
-                compute,
-                transfer_out,
-                total: t_out_done.duration_since(t0),
-            },
+            breakdown,
         }
     }
 
@@ -419,7 +551,14 @@ impl OffloadBackend for PcieDmaBackend {
 
     fn checksum(&mut self, page: &[u8], now: Time, _host: &mut Socket) -> OffloadOutcome<u32> {
         let cost = self.polled_cost();
-        self.run(Function::Checksum, page.len() as u64, 8, page_checksum(page), now, cost)
+        self.run(
+            Function::Checksum,
+            page.len() as u64,
+            8,
+            page_checksum(page),
+            now,
+            cost,
+        )
     }
 
     fn compare(
@@ -506,13 +645,7 @@ impl CxlBackend {
     }
 
     /// Measures a D2D transfer of `bytes` (zpool reads/writes).
-    fn d2d_bytes(
-        &mut self,
-        bytes: u64,
-        write: bool,
-        now: Time,
-        host: &mut Socket,
-    ) -> Duration {
+    fn d2d_bytes(&mut self, bytes: u64, write: bool, now: Time, host: &mut Socket) -> Duration {
         use cxl_proto::request::RequestType;
         use host::burst::{run_burst, BurstSpec};
         let lines = bytes.div_ceil(64).max(1);
@@ -522,7 +655,11 @@ impl CxlBackend {
             self.dev.timing.lsu_issue_interval,
             self.dev.timing.lsu_max_outstanding,
         );
-        let req = if write { RequestType::NC_WR } else { RequestType::CS_RD };
+        let req = if write {
+            RequestType::NC_WR
+        } else {
+            RequestType::CS_RD
+        };
         let r = run_burst(spec, now, |i, t| {
             self.dev.d2d(req, base.offset(i as u64), t, host).completion
         });
@@ -544,7 +681,8 @@ impl CxlBackend {
         dispatch_cpu: Duration,
         stages: [Duration; 3],
         pipelined: bool,
-        now_ref: Time,
+        func: OffloadFn,
+        bytes: u64,
     ) -> OffloadOutcome<T> {
         let [transfer_in, compute, transfer_out] = stages;
         let total = if pipelined {
@@ -555,18 +693,19 @@ impl CxlBackend {
             transfer_in + compute + transfer_out
         };
         let completion = dispatch_done + total;
-        let _ = now_ref;
+        let breakdown = Breakdown {
+            dispatch: dispatch_done.duration_since(start),
+            transfer_in,
+            compute,
+            transfer_out,
+            total,
+        };
+        emit_offload_steps(BackendId::Cxl, func, bytes, start, &breakdown, completion);
         OffloadOutcome {
             value,
             completion,
             host_cpu: dispatch_cpu + self.mailbox_cpu + self.wakeup_cpu,
-            breakdown: Breakdown {
-                dispatch: dispatch_done.duration_since(start),
-                transfer_in,
-                compute,
-                transfer_out,
-                total,
-            },
+            breakdown,
         }
     }
 }
@@ -599,7 +738,17 @@ impl OffloadBackend for CxlBackend {
         // ⑤ D2D NC-write of the compressed page into the device-memory
         // zpool + result size back to the mailbox.
         let t_out = self.d2d_bytes(cp.compressed_len() as u64 + 64, true, t0, host);
-        self.finish(cp, now, t0, dcpu, [t_in, t_compute, t_out], true, now)
+        let bytes = page.len() as u64;
+        self.finish(
+            cp,
+            now,
+            t0,
+            dcpu,
+            [t_in, t_compute, t_out],
+            true,
+            OffloadFn::Compress,
+            bytes,
+        )
     }
 
     fn decompress(
@@ -613,11 +762,20 @@ impl OffloadBackend for CxlBackend {
         // ② D2D CS-read of the compressed page from zpool.
         let t_in = self.d2d_bytes(cp.compressed_len() as u64, false, t0, host);
         // ④ streaming decompression.
-        let t_compute =
-            Engine::FpgaIp.execution_time(Function::Decompress, cp.original_len as u64);
+        let t_compute = Engine::FpgaIp.execution_time(Function::Decompress, cp.original_len as u64);
         // ⑤ NC-P the decompressed page into host LLC (Insight 4).
         let t_out = self.push_to_host(cp.original_len as u64, t0, host);
-        self.finish(page, now, t0, dcpu, [t_in, t_compute, t_out], true, now)
+        let bytes = cp.compressed_len() as u64;
+        self.finish(
+            page,
+            now,
+            t0,
+            dcpu,
+            [t_in, t_compute, t_out],
+            true,
+            OffloadFn::Decompress,
+            bytes,
+        )
     }
 
     fn checksum(&mut self, page: &[u8], now: Time, host: &mut Socket) -> OffloadOutcome<u32> {
@@ -628,7 +786,17 @@ impl OffloadBackend for CxlBackend {
         // Checksum needs the whole page before it finishes, so ② and ④ do
         // not pipeline (§VI-B); the 64 B result NC-Ps back.
         let t_out = self.push_to_host(8, t0, host);
-        self.finish(v, now, t0, dcpu, [t_in, t_compute, t_out], false, now)
+        let bytes = page.len() as u64;
+        self.finish(
+            v,
+            now,
+            t0,
+            dcpu,
+            [t_in, t_compute, t_out],
+            false,
+            OffloadFn::Checksum,
+            bytes,
+        )
     }
 
     fn compare(
@@ -646,7 +814,16 @@ impl OffloadBackend for CxlBackend {
         let t_compute = Engine::FpgaIp.execution_time(Function::Compare, examined);
         let t_out = self.push_to_host(8, t0, host);
         // §VI-B: the comparison pipelines with the transfer.
-        let mut out = self.finish(r, now, t0, dcpu, [t_in, t_compute, t_out], true, now);
+        let mut out = self.finish(
+            r,
+            now,
+            t0,
+            dcpu,
+            [t_in, t_compute, t_out],
+            true,
+            OffloadFn::Compare,
+            examined,
+        );
         // Tree-walk comparisons chain device-side off one mailbox write;
         // the host is not woken per node.
         out.host_cpu = Duration::from_nanos(100);

@@ -152,8 +152,14 @@ impl PageMix {
     /// Panics if `entries` is empty or weights are not positive.
     pub fn new(entries: Vec<(PageContent, f64)>, dup_universe: u32) -> Self {
         assert!(!entries.is_empty(), "mix needs at least one class");
-        assert!(entries.iter().all(|&(_, w)| w > 0.0), "weights must be positive");
-        PageMix { entries, dup_universe: dup_universe.max(1) }
+        assert!(
+            entries.iter().all(|&(_, w)| w > 0.0),
+            "weights must be positive"
+        );
+        PageMix {
+            entries,
+            dup_universe: dup_universe.max(1),
+        }
     }
 
     /// Samples a content class.
@@ -163,9 +169,9 @@ impl PageMix {
         for &(content, w) in &self.entries {
             if x < w {
                 return match content {
-                    PageContent::Duplicate { .. } => {
-                        PageContent::Duplicate { id: rng.gen_range(u64::from(self.dup_universe)) as u32 }
-                    }
+                    PageContent::Duplicate { .. } => PageContent::Duplicate {
+                        id: rng.gen_range(u64::from(self.dup_universe)) as u32,
+                    },
                     c => c,
                 };
             }
@@ -190,7 +196,11 @@ mod tests {
         assert!(zero.ratio() > 50.0, "zero ratio {}", zero.ratio());
         assert!(text.ratio() > 3.0, "text ratio {}", text.ratio());
         assert!(binary.ratio() > 1.5, "binary ratio {}", binary.ratio());
-        assert!(random.is_incompressible(), "random ratio {}", random.ratio());
+        assert!(
+            random.is_incompressible(),
+            "random ratio {}",
+            random.ratio()
+        );
     }
 
     #[test]
@@ -227,7 +237,10 @@ mod tests {
         let dups = (0..1000)
             .filter(|_| matches!(mix.sample(&mut rng), PageContent::Duplicate { .. }))
             .count();
-        assert!(dups > 250, "vm mix should be ~35% duplicates, got {dups}/1000");
+        assert!(
+            dups > 250,
+            "vm mix should be ~35% duplicates, got {dups}/1000"
+        );
     }
 
     #[test]

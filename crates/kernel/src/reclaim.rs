@@ -38,7 +38,11 @@ pub struct Watermarks {
 impl Watermarks {
     /// Kernel-style defaults for a zone of `total` pages.
     pub fn for_zone(total: u64) -> Self {
-        Watermarks { min: total / 64, low: total / 32, high: total / 16 }
+        Watermarks {
+            min: total / 64,
+            low: total / 32,
+            high: total / 16,
+        }
     }
 }
 
@@ -191,7 +195,10 @@ impl MemoryZone {
             // Direct reclaim: synchronously swap out a batch.
             outcome = self.reclaim(ReclaimPath::Direct, 32, now, zswap, host);
         }
-        assert!(self.free_pages > 0, "zone exhausted even after direct reclaim");
+        assert!(
+            self.free_pages > 0,
+            "zone exhausted even after direct reclaim"
+        );
         self.free_pages -= 1;
         self.insert_resident(key, data);
         outcome
@@ -282,7 +289,9 @@ impl MemoryZone {
                     e
                 }
                 None => {
-                    let Some((&s, &k)) = self.active.iter().next() else { break };
+                    let Some((&s, &k)) = self.active.iter().next() else {
+                        break;
+                    };
                     self.active.remove(&s);
                     (s, k)
                 }
@@ -298,7 +307,12 @@ impl MemoryZone {
             reclaimed += 1;
             keys.push(key);
         }
-        ReclaimOutcome { reclaimed, keys, completion: t, host_cpu: cpu }
+        ReclaimOutcome {
+            reclaimed,
+            keys,
+            completion: t,
+            host_cpu: cpu,
+        }
     }
 }
 
@@ -380,9 +394,13 @@ mod tests {
         // Force it out.
         let o = zone.reclaim(ReclaimPath::Direct, 8, Time::ZERO, &mut z, &mut h);
         assert!(o.reclaimed >= 1);
-        let (restored, _, _) = zone.fault_in(SwapKey(7), o.completion, &mut z, &mut h).unwrap();
+        let (restored, _, _) = zone
+            .fault_in(SwapKey(7), o.completion, &mut z, &mut h)
+            .unwrap();
         assert_eq!(restored, page);
-        assert!(zone.fault_in(SwapKey(99), o.completion, &mut z, &mut h).is_none());
+        assert!(zone
+            .fault_in(SwapKey(99), o.completion, &mut z, &mut h)
+            .is_none());
     }
 
     #[test]
@@ -402,8 +420,12 @@ mod tests {
         let o = zone.reclaim(ReclaimPath::Direct, 4, Time::ZERO, &mut z, &mut h);
         assert_eq!(o.reclaimed, 4);
         // Keys 1..=4 went out; key 0 survived at the tail.
-        assert!(zone.fault_in(SwapKey(1), o.completion, &mut z, &mut h).is_some());
-        assert!(zone.fault_in(SwapKey(0), o.completion, &mut z, &mut h).is_none());
+        assert!(zone
+            .fault_in(SwapKey(1), o.completion, &mut z, &mut h)
+            .is_some());
+        assert!(zone
+            .fault_in(SwapKey(0), o.completion, &mut z, &mut h)
+            .is_none());
     }
 
     #[test]
@@ -418,6 +440,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "min < low < high")]
     fn bad_watermarks_rejected() {
-        let _ = MemoryZone::new(100, Watermarks { min: 50, low: 40, high: 60 });
+        let _ = MemoryZone::new(
+            100,
+            Watermarks {
+                min: 50,
+                low: 40,
+                high: 60,
+            },
+        );
     }
 }

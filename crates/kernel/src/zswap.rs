@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 use accel::lz::CompressedPage;
 use host::socket::Socket;
 use sim_core::time::{Duration, Time};
+use sim_core::trace::{self, TraceEvent, ZswapStep};
 
 use crate::offload::OffloadBackend;
 use crate::page::{PageData, PAGE_SIZE};
@@ -218,8 +219,12 @@ impl<B: OffloadBackend> Zswap<B> {
     fn make_room(&mut self, needed: u64, mut now: Time, host: &mut Socket) -> (Time, Duration) {
         let mut cpu = Duration::ZERO;
         while self.pool_bytes + needed > self.config.max_pool_bytes {
-            let Some(victim_key) = self.lru.pop_front() else { break };
-            let Some(entry) = self.entries.remove(&victim_key) else { continue };
+            let Some(victim_key) = self.lru.pop_front() else {
+                break;
+            };
+            let Some(entry) = self.entries.remove(&victim_key) else {
+                continue;
+            };
             self.pool_bytes -= entry.footprint;
             let (page, ready) = match entry.page {
                 StoredPage::Compressed(cp) => {
@@ -227,11 +232,17 @@ impl<B: OffloadBackend> Zswap<B> {
                     cpu += out.host_cpu;
                     (out.value, out.completion)
                 }
-                StoredPage::SameFilled { pattern, len } => {
-                    (expand_pattern(pattern, len), now)
-                }
+                StoredPage::SameFilled { pattern, len } => (expand_pattern(pattern, len), now),
             };
             let done = self.swap_dev.write(ready, page.len() as u64);
+            trace::emit(
+                done,
+                TraceEvent::Zswap {
+                    step: ZswapStep::WritebackEvict,
+                    key: victim_key.0,
+                    bytes: page.len() as u64,
+                },
+            );
             self.disk.insert(victim_key, page);
             self.stats.writebacks += 1;
             now = done;
@@ -246,6 +257,14 @@ impl<B: OffloadBackend> Zswap<B> {
     /// backing device.
     pub fn store(&mut self, key: SwapKey, page: &[u8], now: Time, host: &mut Socket) -> ZswapOp {
         assert_eq!(page.len(), PAGE_SIZE, "zswap stores whole pages");
+        trace::emit(
+            now,
+            TraceEvent::Zswap {
+                step: ZswapStep::StoreBegin,
+                key: key.0,
+                bytes: page.len() as u64,
+            },
+        );
         // Re-storing a key replaces any previous copy (pool or disk);
         // without this, the old pool footprint would leak and a stale
         // entry could shadow the new one.
@@ -261,13 +280,24 @@ impl<B: OffloadBackend> Zswap<B> {
                 self.entries.insert(
                     key,
                     ZswapEntry {
-                        page: StoredPage::SameFilled { pattern, len: page.len() },
+                        page: StoredPage::SameFilled {
+                            pattern,
+                            len: page.len(),
+                        },
                         footprint,
                     },
                 );
                 self.lru.push_back(key);
                 self.stats.stored += 1;
                 self.stats.same_filled += 1;
+                trace::emit(
+                    t,
+                    TraceEvent::Zswap {
+                        step: ZswapStep::StoreSameFilled,
+                        key: key.0,
+                        bytes: footprint,
+                    },
+                );
                 return ZswapOp {
                     completion: t + Duration::from_nanos(350),
                     host_cpu: evict_cpu + Duration::from_nanos(350),
@@ -281,21 +311,51 @@ impl<B: OffloadBackend> Zswap<B> {
         if cp.compressed_len() as f64 >= self.config.accept_threshold * PAGE_SIZE as f64 {
             // Reject: write the raw page to the backing device.
             self.stats.rejected_incompressible += 1;
+            trace::emit(
+                out.completion,
+                TraceEvent::Zswap {
+                    step: ZswapStep::StoreRejected,
+                    key: key.0,
+                    bytes: PAGE_SIZE as u64,
+                },
+            );
             let done = self.swap_dev.write(out.completion, PAGE_SIZE as u64);
             self.disk.insert(key, page.to_vec());
             // The host CPU issues the block-IO submission.
             cpu += Duration::from_nanos(800);
-            return ZswapOp { completion: done, host_cpu: cpu, hit_pool: false };
+            return ZswapOp {
+                completion: done,
+                host_cpu: cpu,
+                hit_pool: false,
+            };
         }
         let footprint = Self::footprint(cp.compressed_len());
         let (t, evict_cpu) = self.make_room(footprint, out.completion, host);
         cpu += evict_cpu;
         self.pool_bytes += footprint;
         self.stats.pool_bytes_peak = self.stats.pool_bytes_peak.max(self.pool_bytes);
-        self.entries.insert(key, ZswapEntry { page: StoredPage::Compressed(cp), footprint });
+        self.entries.insert(
+            key,
+            ZswapEntry {
+                page: StoredPage::Compressed(cp),
+                footprint,
+            },
+        );
         self.lru.push_back(key);
         self.stats.stored += 1;
-        ZswapOp { completion: t, host_cpu: cpu, hit_pool: true }
+        trace::emit(
+            t,
+            TraceEvent::Zswap {
+                step: ZswapStep::StorePooled,
+                key: key.0,
+                bytes: footprint,
+            },
+        );
+        ZswapOp {
+            completion: t,
+            host_cpu: cpu,
+            hit_pool: true,
+        }
     }
 
     /// Loads a page on swap-in (page fault). Returns the page and the
@@ -312,6 +372,14 @@ impl<B: OffloadBackend> Zswap<B> {
             self.stats.pool_hits += 1;
             return Some(match entry.page {
                 StoredPage::Compressed(cp) => {
+                    trace::emit(
+                        now,
+                        TraceEvent::Zswap {
+                            step: ZswapStep::LoadPoolHit,
+                            key: key.0,
+                            bytes: cp.compressed_len() as u64,
+                        },
+                    );
                     let out = self.backend.decompress(&cp, now, host);
                     (
                         out.value,
@@ -323,16 +391,36 @@ impl<B: OffloadBackend> Zswap<B> {
                     )
                 }
                 StoredPage::SameFilled { pattern, len } => {
+                    trace::emit(
+                        now,
+                        TraceEvent::Zswap {
+                            step: ZswapStep::LoadSameFilled,
+                            key: key.0,
+                            bytes: len as u64,
+                        },
+                    );
                     // Reconstructing from the pattern is a fast memset.
                     let cost = Duration::from_nanos(450);
                     (
                         expand_pattern(pattern, len),
-                        ZswapOp { completion: now + cost, host_cpu: cost, hit_pool: true },
+                        ZswapOp {
+                            completion: now + cost,
+                            host_cpu: cost,
+                            hit_pool: true,
+                        },
                     )
                 }
             });
         }
         if let Some(page) = self.disk.remove(&key) {
+            trace::emit(
+                now,
+                TraceEvent::Zswap {
+                    step: ZswapStep::LoadDisk,
+                    key: key.0,
+                    bytes: PAGE_SIZE as u64,
+                },
+            );
             let done = self.swap_dev.read(now, PAGE_SIZE as u64);
             self.stats.disk_loads += 1;
             return Some((
@@ -353,6 +441,14 @@ impl<B: OffloadBackend> Zswap<B> {
         if let Some(e) = self.entries.remove(&key) {
             self.pool_bytes -= e.footprint;
             self.lru.retain(|&k| k != key);
+            trace::emit(
+                Time::ZERO,
+                TraceEvent::Zswap {
+                    step: ZswapStep::Invalidate,
+                    key: key.0,
+                    bytes: e.footprint,
+                },
+            );
         }
         self.disk.remove(&key);
     }
@@ -413,7 +509,11 @@ mod tests {
     fn pool_limit_triggers_writeback() {
         let mut h = host();
         // Tiny pool: fits ~2 compressed text pages.
-        let cfg = ZswapConfig { max_pool_bytes: 2048, accept_threshold: 1.0, same_filled_enabled: true };
+        let cfg = ZswapConfig {
+            max_pool_bytes: 2048,
+            accept_threshold: 1.0,
+            same_filled_enabled: true,
+        };
         let mut z = Zswap::new(cfg, CpuBackend::new());
         let mut rng = SimRng::seed_from(3);
         let mut t = Time::ZERO;
@@ -433,20 +533,30 @@ mod tests {
     #[test]
     fn lru_order_is_eviction_order() {
         let mut h = host();
-        let cfg = ZswapConfig { max_pool_bytes: 4096, accept_threshold: 1.0, same_filled_enabled: true };
+        let cfg = ZswapConfig {
+            max_pool_bytes: 4096,
+            accept_threshold: 1.0,
+            same_filled_enabled: true,
+        };
         let mut z = Zswap::new(cfg, CpuBackend::new());
         let mut rng = SimRng::seed_from(4);
-        let pages: Vec<_> = (0..12).map(|_| PageContent::Binary.generate(&mut rng)).collect();
+        let pages: Vec<_> = (0..12)
+            .map(|_| PageContent::Binary.generate(&mut rng))
+            .collect();
         let mut t = Time::ZERO;
         for (i, p) in pages.iter().enumerate() {
             t = z.store(SwapKey(i as u64), p, t, &mut h).completion;
         }
         if z.stats().writebacks > 0 {
             // Keys evicted must be a prefix of insertion order.
-            let first_resident =
-                (0..12).find(|i| z.entries.contains_key(&SwapKey(*i as u64))).unwrap();
+            let first_resident = (0..12)
+                .find(|i| z.entries.contains_key(&SwapKey(*i as u64)))
+                .unwrap();
             for i in 0..first_resident {
-                assert!(!z.entries.contains_key(&SwapKey(i as u64)), "key {i} evicted");
+                assert!(
+                    !z.entries.contains_key(&SwapKey(i as u64)),
+                    "key {i} evicted"
+                );
             }
         }
     }

@@ -11,15 +11,14 @@
 //! the LLC, inflating service times during activity windows.
 
 use host::socket::Socket;
-use kernel::offload::{
-    CpuBackend, CxlBackend, OffloadBackend, PcieDmaBackend, PcieRdmaBackend,
-};
+use kernel::offload::{CpuBackend, CxlBackend, OffloadBackend, PcieDmaBackend, PcieRdmaBackend};
 use kernel::page::{PageMix, PAGE_SIZE};
 use kernel::reclaim::{MemoryZone, ReclaimPath, Watermarks};
 use kernel::zswap::{SwapKey, Zswap, ZswapConfig};
 use sim_core::rng::SimRng;
 use sim_core::stats::Histogram;
 use sim_core::time::{Duration, Time};
+use sim_core::trace::{self, CounterRegistry, KvsStep, TraceEvent};
 
 use crate::server::{merge_jobs, run_core, Job};
 use crate::ycsb::{KeyDistribution, Op, YcsbWorkload};
@@ -171,11 +170,27 @@ impl Fig8Config {
 fn baseline_report(cfg: &Fig8Config, requests: &[RequestEvent]) -> TailReport {
     let mut jobs: Vec<Vec<Job>> = vec![Vec::new(); cfg.servers];
     for r in requests {
+        trace::emit(
+            r.arrival,
+            TraceEvent::Kvs {
+                step: KvsStep::Arrival,
+                server: r.server as u32,
+                key: r.key,
+            },
+        );
         jobs[r.server].push(Job {
             arrival: r.arrival,
             service: service_for(r.op, cfg.base_service),
             is_request: true,
         });
+        trace::emit(
+            r.arrival,
+            TraceEvent::Kvs {
+                step: KvsStep::Enqueued,
+                server: r.server as u32,
+                key: r.key,
+            },
+        );
     }
     let hists: Vec<Histogram> = jobs.iter().map(|j| run_core(j).0).collect();
     percentile_report(&hists, Duration::ZERO, cfg, 0)
@@ -220,7 +235,11 @@ struct RequestEvent {
 }
 
 /// Generates the merged, time-sorted request stream for all servers.
-fn generate_requests(cfg: &Fig8Config, workload: YcsbWorkload, rng: &mut SimRng) -> Vec<RequestEvent> {
+fn generate_requests(
+    cfg: &Fig8Config,
+    workload: YcsbWorkload,
+    rng: &mut SimRng,
+) -> Vec<RequestEvent> {
     let mut events = Vec::new();
     for server in 0..cfg.servers {
         let mut t = Time::ZERO;
@@ -242,7 +261,12 @@ fn generate_requests(cfg: &Fig8Config, workload: YcsbWorkload, rng: &mut SimRng)
             if op == Op::Insert {
                 next_insert += 1;
             }
-            events.push(RequestEvent { arrival: t, server, op, key });
+            events.push(RequestEvent {
+                arrival: t,
+                server,
+                op,
+                key,
+            });
         }
     }
     events.sort_by_key(|e| e.arrival);
@@ -310,7 +334,7 @@ pub fn run_zswap(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) ->
 
     let mut jobs: Vec<Vec<Job>> = vec![Vec::new(); cfg.servers];
     let mut feature_cpu = Duration::ZERO;
-    let mut faults = 0u64;
+    let mut counters = CounterRegistry::new();
     let kernel_share = 1.2 / cfg.total_cores as f64;
     let mut pending_slice = Duration::ZERO;
     // cpu-zswap's host work is kswapd itself computing in scheduling
@@ -378,6 +402,16 @@ pub fn run_zswap(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) ->
             }
             (Some(_), _) => {
                 let r = req_iter.next().expect("peeked");
+                let server = r.server as u32;
+                trace::emit(
+                    r.arrival,
+                    TraceEvent::Kvs {
+                        step: KvsStep::Arrival,
+                        server,
+                        key: r.key,
+                    },
+                );
+                counters.incr("kvs.requests");
                 let key = redis_key(r.server, r.key, cfg.keys_per_server);
                 let mut service = service_for(r.op, cfg.base_service);
                 if r.arrival < pollution_until {
@@ -388,11 +422,28 @@ pub fn run_zswap(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) ->
                     if let Some((_, done, cpu)) =
                         zone.fault_in(key, r.arrival, &mut zswap, &mut host)
                     {
+                        trace::emit(
+                            r.arrival,
+                            TraceEvent::Kvs {
+                                step: KvsStep::FaultIn,
+                                server,
+                                key: r.key,
+                            },
+                        );
+                        counters.incr("kvs.faults");
                         service += done.duration_since(r.arrival);
                         feature_cpu += cpu;
-                        faults += 1;
                     } else {
                         // Insert of a brand-new key: allocate its page.
+                        trace::emit(
+                            r.arrival,
+                            TraceEvent::Kvs {
+                                step: KvsStep::Insert,
+                                server,
+                                key: r.key,
+                            },
+                        );
+                        counters.incr("kvs.inserts");
                         let page = mix.sample(&mut rng).generate(&mut rng);
                         let o = zone.allocate(key, page, r.arrival, &mut zswap, &mut host);
                         if o.reclaimed > 0 {
@@ -404,7 +455,19 @@ pub fn run_zswap(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) ->
                 } else {
                     zone.touch(key);
                 }
-                jobs[r.server].push(Job { arrival: r.arrival, service, is_request: true });
+                jobs[r.server].push(Job {
+                    arrival: r.arrival,
+                    service,
+                    is_request: true,
+                });
+                trace::emit(
+                    r.arrival,
+                    TraceEvent::Kvs {
+                        step: KvsStep::Enqueued,
+                        server,
+                        key: r.key,
+                    },
+                );
             }
         }
     }
@@ -413,7 +476,7 @@ pub fn run_zswap(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) ->
         .into_iter()
         .map(|j| run_core(&merge_jobs(vec![j])).0)
         .collect();
-    percentile_report(&hists, feature_cpu, cfg, faults)
+    percentile_report(&hists, feature_cpu, cfg, counters.get("kvs.faults"))
 }
 
 /// Delivers the accumulated kernel-work share to every Redis core as one
@@ -423,7 +486,11 @@ fn flush_kernel_slice(jobs: &mut [Vec<Job>], at: Time, pending: &mut Duration) {
         return;
     }
     for server_jobs in jobs.iter_mut() {
-        server_jobs.push(Job { arrival: at, service: *pending, is_request: false });
+        server_jobs.push(Job {
+            arrival: at,
+            service: *pending,
+            is_request: false,
+        });
     }
     *pending = Duration::ZERO;
 }
@@ -500,8 +567,7 @@ pub fn run_ksm(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) -> T
             .collect();
         vm_pages.push(ids);
     }
-    let all_ids: Vec<kernel::ksm::KsmPageId> =
-        vm_pages.iter().flatten().copied().collect();
+    let all_ids: Vec<kernel::ksm::KsmPageId> = vm_pages.iter().flatten().copied().collect();
 
     // ksmd timeline: continuous batched scanning, round-robin across the
     // half-socket's cores. Batch wall time is the backend completion time
@@ -539,13 +605,19 @@ pub fn run_ksm(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) -> T
             if kind == BackendKind::Cpu {
                 // cpu-ksm: ksmd itself computes — one contiguous stretch
                 // occupies the core for the whole batch.
-                jobs[core].push(Job { arrival: t, service: batch_cpu, is_request: false });
+                jobs[core].push(Job {
+                    arrival: t,
+                    service: batch_cpu,
+                    is_request: false,
+                });
             } else {
                 // Offloaded ksm: the daemon sleeps while the device works;
                 // the host cost arrives as dispatch/poll slivers spread
                 // across the batch's wall time.
                 let sliver = Duration::from_nanos(1_500);
-                let n = (batch_cpu.as_nanos_f64() / sliver.as_nanos_f64()).ceil().max(1.0) as u64;
+                let n = (batch_cpu.as_nanos_f64() / sliver.as_nanos_f64())
+                    .ceil()
+                    .max(1.0) as u64;
                 let spacing = batch_wall / n;
                 let per = batch_cpu / n;
                 for j in 0..n {
@@ -566,7 +638,18 @@ pub fn run_ksm(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) -> T
 
     // Request streams: updates on merged pages take CoW breaks.
     let cow_cost = Duration::from_nanos(2_500);
+    let mut counters = CounterRegistry::new();
     for r in requests {
+        let server = r.server as u32;
+        trace::emit(
+            r.arrival,
+            TraceEvent::Kvs {
+                step: KvsStep::Arrival,
+                server,
+                key: r.key,
+            },
+        );
+        counters.incr("kvs.requests");
         let mut service = service_for(r.op, cfg.base_service);
         // ksmd scans continuously, so its cache pollution applies to the
         // whole run.
@@ -576,10 +659,23 @@ pub fn run_ksm(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) -> T
             let id = ids[(r.key as usize) % ids.len()];
             if ksm.is_merged(id) {
                 ksm.write_page(id, mix.sample(&mut rng).generate(&mut rng));
+                counters.incr("kvs.cow_breaks");
                 service += cow_cost;
             }
         }
-        jobs[r.server].push(Job { arrival: r.arrival, service, is_request: true });
+        jobs[r.server].push(Job {
+            arrival: r.arrival,
+            service,
+            is_request: true,
+        });
+        trace::emit(
+            r.arrival,
+            TraceEvent::Kvs {
+                step: KvsStep::Enqueued,
+                server,
+                key: r.key,
+            },
+        );
     }
 
     let hists: Vec<Histogram> = jobs
@@ -610,7 +706,11 @@ mod tests {
         let cfg = tiny();
         let base = run_zswap(&cfg, YcsbWorkload::B, BackendKind::None);
         assert!(base.requests > 500);
-        assert!(base.p99 < Duration::from_micros(120), "baseline p99 {}", base.p99);
+        assert!(
+            base.p99 < Duration::from_micros(120),
+            "baseline p99 {}",
+            base.p99
+        );
         assert_eq!(base.faults, 0);
         assert_eq!(base.feature_host_cpu, Duration::ZERO);
     }

@@ -54,7 +54,10 @@ pub fn run_core(jobs: &[Job]) -> (Histogram, Duration) {
     let mut busy = Duration::ZERO;
     let mut last_arrival = Time::ZERO;
     for job in jobs {
-        assert!(job.arrival >= last_arrival, "jobs must be sorted by arrival");
+        assert!(
+            job.arrival >= last_arrival,
+            "jobs must be sorted by arrival"
+        );
         last_arrival = job.arrival;
         let start = core_free.max(job.arrival);
         let done = start + job.service;
@@ -119,7 +122,10 @@ mod tests {
 
     #[test]
     fn merge_sorts_by_arrival() {
-        let merged = merge_jobs(vec![vec![req(5_000, 1), req(9_000, 1)], vec![kernel(7_000, 2)]]);
+        let merged = merge_jobs(vec![
+            vec![req(5_000, 1), req(9_000, 1)],
+            vec![kernel(7_000, 2)],
+        ]);
         let arrivals: Vec<u64> = merged.iter().map(|j| j.arrival.as_picos()).collect();
         let mut sorted = arrivals.clone();
         sorted.sort_unstable();

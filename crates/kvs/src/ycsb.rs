@@ -73,8 +73,12 @@ pub enum YcsbWorkload {
 
 impl YcsbWorkload {
     /// All four workloads in Fig. 8 order.
-    pub const ALL: [YcsbWorkload; 4] =
-        [YcsbWorkload::A, YcsbWorkload::B, YcsbWorkload::C, YcsbWorkload::D];
+    pub const ALL: [YcsbWorkload; 4] = [
+        YcsbWorkload::A,
+        YcsbWorkload::B,
+        YcsbWorkload::C,
+        YcsbWorkload::D,
+    ];
 
     /// The (read, update, insert) fractions.
     pub fn mix(self) -> (f64, f64, f64) {
@@ -155,8 +159,9 @@ mod tests {
     fn workload_a_is_balanced() {
         let mut rng = SimRng::seed_from(2);
         let n = 10_000;
-        let reads =
-            (0..n).filter(|_| YcsbWorkload::A.sample_op(&mut rng) == Op::Read).count();
+        let reads = (0..n)
+            .filter(|_| YcsbWorkload::A.sample_op(&mut rng) == Op::Read)
+            .count();
         let frac = reads as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.03, "A read fraction {frac}");
     }
@@ -197,6 +202,9 @@ mod tests {
             seen.insert(k);
         }
         assert!(seen.len() > 95, "uniform keys cover the space");
-        assert_eq!(YcsbWorkload::D.sample_key(Op::Insert, 100, 100, &mut rng), 100);
+        assert_eq!(
+            YcsbWorkload::D.sample_key(Op::Insert, 100, 100, &mut rng),
+            100
+        );
     }
 }

@@ -153,10 +153,13 @@ impl SetAssocCache {
         let tag = self.tag(addr);
         self.clock += 1;
         let clock = self.clock;
-        let found = self.sets[set_idx].iter_mut().find(|e| e.tag == tag).map(|e| {
-            e.stamp = clock;
-            e.state
-        });
+        let found = self.sets[set_idx]
+            .iter_mut()
+            .find(|e| e.tag == tag)
+            .map(|e| {
+                e.stamp = clock;
+                e.state
+            });
         if found.is_some() {
             self.stats.hits += 1;
         } else {
@@ -187,11 +190,18 @@ impl SetAssocCache {
                 .expect("full set has a victim");
             let v = self.sets[set_idx].swap_remove(vi);
             self.stats.evictions += 1;
-            Some(Evicted { addr: self.addr_of(set_idx, v.tag), state: v.state })
+            Some(Evicted {
+                addr: self.addr_of(set_idx, v.tag),
+                state: v.state,
+            })
         } else {
             None
         };
-        self.sets[set_idx].push(Entry { tag, state, stamp: clock });
+        self.sets[set_idx].push(Entry {
+            tag,
+            state,
+            stamp: clock,
+        });
         victim
     }
 
@@ -240,10 +250,13 @@ impl SetAssocCache {
     /// Iterates over all resident lines and their states.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, MesiState)> + '_ {
         let num_sets = self.num_sets;
-        self.sets.iter().enumerate().flat_map(move |(set_idx, set)| {
-            set.iter()
-                .map(move |e| (LineAddr::new(e.tag * num_sets + set_idx as u64), e.state))
-        })
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(move |(set_idx, set)| {
+                set.iter()
+                    .map(move |e| (LineAddr::new(e.tag * num_sets + set_idx as u64), e.state))
+            })
     }
 }
 

@@ -121,8 +121,12 @@ pub fn mesi_transition(state: MesiState, event: CoherenceEvent) -> Option<MesiSt
 mod tests {
     use super::*;
 
-    const ALL_STATES: [MesiState; 4] =
-        [MesiState::Modified, MesiState::Exclusive, MesiState::Shared, MesiState::Invalid];
+    const ALL_STATES: [MesiState; 4] = [
+        MesiState::Modified,
+        MesiState::Exclusive,
+        MesiState::Shared,
+        MesiState::Invalid,
+    ];
     const ALL_EVENTS: [CoherenceEvent; 5] = [
         CoherenceEvent::LocalRead,
         CoherenceEvent::LocalWrite,
@@ -144,14 +148,23 @@ mod tests {
     #[test]
     fn remote_write_always_invalidates() {
         for s in ALL_STATES {
-            assert_eq!(mesi_transition(s, CoherenceEvent::RemoteWrite), Some(MesiState::Invalid));
+            assert_eq!(
+                mesi_transition(s, CoherenceEvent::RemoteWrite),
+                Some(MesiState::Invalid)
+            );
         }
     }
 
     #[test]
     fn writes_need_ownership() {
-        assert_eq!(mesi_transition(MesiState::Shared, CoherenceEvent::LocalWrite), None);
-        assert_eq!(mesi_transition(MesiState::Invalid, CoherenceEvent::LocalWrite), None);
+        assert_eq!(
+            mesi_transition(MesiState::Shared, CoherenceEvent::LocalWrite),
+            None
+        );
+        assert_eq!(
+            mesi_transition(MesiState::Invalid, CoherenceEvent::LocalWrite),
+            None
+        );
         assert_eq!(
             mesi_transition(MesiState::Exclusive, CoherenceEvent::LocalWrite),
             Some(MesiState::Modified)
@@ -160,8 +173,15 @@ mod tests {
 
     #[test]
     fn no_transition_resurrects_invalid_without_local_read() {
-        for e in [CoherenceEvent::RemoteRead, CoherenceEvent::RemoteWrite, CoherenceEvent::Evict] {
-            assert_eq!(mesi_transition(MesiState::Invalid, e), Some(MesiState::Invalid));
+        for e in [
+            CoherenceEvent::RemoteRead,
+            CoherenceEvent::RemoteWrite,
+            CoherenceEvent::Evict,
+        ] {
+            assert_eq!(
+                mesi_transition(MesiState::Invalid, e),
+                Some(MesiState::Invalid)
+            );
         }
     }
 

@@ -148,7 +148,9 @@ impl MemorySystem {
     pub fn new(tech: DramTech, channels: usize, write_queue_entries: usize) -> Self {
         assert!(channels > 0, "memory system needs at least one channel");
         MemorySystem {
-            channels: (0..channels).map(|_| MemoryController::new(tech, write_queue_entries)).collect(),
+            channels: (0..channels)
+                .map(|_| MemoryController::new(tech, write_queue_entries))
+                .collect(),
         }
     }
 
@@ -222,7 +224,8 @@ mod tests {
     fn read_latency_includes_access_and_transfer() {
         let mut mc = MemoryController::new(DramTech::Ddr5_4800, 32);
         let done = mc.read(Time::ZERO);
-        let expect = DramTech::Ddr5_4800.access_latency() + DramTech::Ddr5_4800.line_transfer_time();
+        let expect =
+            DramTech::Ddr5_4800.access_latency() + DramTech::Ddr5_4800.line_transfer_time();
         assert_eq!(done, Time::ZERO + expect);
     }
 
@@ -248,7 +251,10 @@ mod tests {
         }
         let bw = bandwidth_gbps(n * 64, last.duration_since(Time::ZERO));
         let peak = DramTech::Ddr4_2400.channel_bandwidth_gbps();
-        assert!(bw > 0.95 * peak && bw <= peak + 1e-9, "bw {bw} vs peak {peak}");
+        assert!(
+            bw > 0.95 * peak && bw <= peak + 1e-9,
+            "bw {bw} vs peak {peak}"
+        );
     }
 
     #[test]
@@ -266,7 +272,9 @@ mod tests {
         let mut mem = MemorySystem::new(DramTech::Ddr5_4800, 8, 32);
         // 8 consecutive lines land on 8 distinct channels: all complete at
         // the single-read latency.
-        let done: Vec<Time> = (0..8).map(|i| mem.read(LineAddr::new(i), Time::ZERO)).collect();
+        let done: Vec<Time> = (0..8)
+            .map(|i| mem.read(LineAddr::new(i), Time::ZERO))
+            .collect();
         assert!(done.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(mem.op_counts(), (8, 0));
     }

@@ -9,6 +9,7 @@
 use host::socket::Socket;
 use mem_subsys::line::{LineAddr, LINE_BYTES};
 use sim_core::time::Time;
+use sim_core::trace::{self, TraceEvent};
 
 /// Fraction of the LLC DDIO may allocate into (the hardware restricts
 /// inbound I/O to a subset of ways; 2 of 12 ways ≈ 17%).
@@ -38,6 +39,13 @@ pub fn apply_inbound_dma(host: &mut Socket, base: LineAddr, bytes: u64, now: Tim
     let llc_lines = host.caches.llc_capacity_bytes() / LINE_BYTES;
     let ddio_capacity = (llc_lines as f64 * DDIO_WAY_FRACTION) as u64;
     let in_llc = lines.min(ddio_capacity);
+    trace::emit(
+        now,
+        TraceEvent::DdioDeliver {
+            llc_lines: in_llc,
+            dram_lines: lines - in_llc,
+        },
+    );
     for i in 0..in_llc {
         host.home_push_llc(base.offset(i), now, sim_core::time::Duration::ZERO);
     }
@@ -86,6 +94,9 @@ mod tests {
         host.load(a, Time::ZERO);
         apply_inbound_dma(&mut host, a, 64, Time::ZERO);
         // The DMAed data supersedes the stale copy: only in LLC, Modified.
-        assert_eq!(host.caches.probe(a).map(|(_, s)| s), Some(MesiState::Modified));
+        assert_eq!(
+            host.caches.probe(a).map(|(_, s)| s),
+            Some(MesiState::Modified)
+        );
     }
 }

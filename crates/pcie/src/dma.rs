@@ -7,6 +7,7 @@
 //! is expensive (§I). DMA writes to host memory land in the LLC via DDIO.
 
 use sim_core::time::{Duration, Time};
+use sim_core::trace::{self, TraceEvent};
 
 /// Completion-reporting semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +98,7 @@ impl PcieDma {
 
     /// Submits a transfer; returns the producer-observed completion time.
     pub fn transfer(&mut self, now: Time, bytes: u64) -> Time {
+        trace::emit(now, TraceEvent::DmaDescriptor { bytes });
         let submitted = now + self.setup;
         let start = self.busy_until.max(submitted);
         let delivered = start + self.streaming_time(bytes);

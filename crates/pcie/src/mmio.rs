@@ -49,7 +49,12 @@ impl PcieMmio {
     /// Creates a window with explicit parameters.
     pub fn new(one_way: Duration, device_access: Duration, chunk: u64) -> Self {
         assert!(chunk > 0, "MMIO chunk must be non-zero");
-        PcieMmio { one_way, device_access, chunk, busy_until: Time::ZERO }
+        PcieMmio {
+            one_way,
+            device_access,
+            chunk,
+            busy_until: Time::ZERO,
+        }
     }
 
     fn chunks(&self, bytes: u64) -> u64 {

@@ -10,6 +10,7 @@
 //!   bandwidth than RDMA (per the paper, citing Wei et al. OSDI'23).
 
 use sim_core::time::{Duration, Time};
+use sim_core::trace::{self, TraceEvent};
 
 /// An RDMA queue pair on the BF-3.
 ///
@@ -84,6 +85,7 @@ impl RdmaEngine {
     /// One-sided RDMA read/write of `bytes`; returns completion (CQE
     /// observed).
     pub fn transfer(&mut self, now: Time, bytes: u64) -> Time {
+        trace::emit(now, TraceEvent::RdmaVerb { bytes });
         let posted = now + self.post;
         let start = self.busy_until.max(posted) + self.nic_processing;
         let done = start + self.streaming_time(bytes);

@@ -36,7 +36,10 @@ impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse ordering: BinaryHeap is a max-heap, we want earliest first;
         // seq breaks ties FIFO.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -64,7 +67,11 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Time::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+        }
     }
 
     /// The time of the most recently popped event (simulation "now").
@@ -79,8 +86,16 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is before the current simulation time: delivering into
     /// the past would break causality.
     pub fn schedule(&mut self, at: Time, event: E) {
-        assert!(at >= self.now, "cannot schedule event in the past ({at} < {})", self.now);
-        self.heap.push(Scheduled { at, seq: self.next_seq, event });
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past ({at} < {})",
+            self.now
+        );
+        self.heap.push(Scheduled {
+            at,
+            seq: self.next_seq,
+            event,
+        });
         self.next_seq += 1;
     }
 

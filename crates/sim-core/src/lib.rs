@@ -27,6 +27,7 @@ pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 /// Convenient glob-import of the most common simulation types.
 pub mod prelude {
@@ -34,4 +35,5 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::stats::{bandwidth_gbps, Histogram, Samples, Summary};
     pub use crate::time::{ClockDomain, Cycles, Duration, Time, DEVICE_CLOCK, HOST_CLOCK};
+    pub use crate::trace::{CounterRegistry, Span, TimedEvent, TraceEvent};
 }

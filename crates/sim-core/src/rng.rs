@@ -180,7 +180,10 @@ mod tests {
             assert!(v < 8);
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues hit within 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues hit within 1000 draws"
+        );
     }
 
     #[test]

@@ -35,7 +35,13 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one sample.
@@ -118,7 +124,10 @@ pub struct Samples {
 impl Samples {
     /// Creates an empty sample set.
     pub fn new() -> Self {
-        Samples { values: Vec::new(), sorted: true }
+        Samples {
+            values: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Records one sample.
@@ -144,7 +153,8 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
         }
     }
@@ -186,8 +196,12 @@ impl Samples {
             return 0.0;
         }
         let mean = self.mean();
-        let var =
-            self.values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / self.values.len() as f64;
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.values.len() as f64;
         var.sqrt()
     }
 }
@@ -195,7 +209,10 @@ impl Samples {
 impl FromIterator<f64> for Samples {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
         let values: Vec<f64> = iter.into_iter().collect();
-        Samples { values, sorted: false }
+        Samples {
+            values,
+            sorted: false,
+        }
     }
 }
 
@@ -244,7 +261,13 @@ const SUBS: usize = 1 << SUB_BITS;
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram { counts: vec![0; 64 * SUBS], total: 0, sum_ps: 0, max_ps: 0, min_ps: u64::MAX }
+        Histogram {
+            counts: vec![0; 64 * SUBS],
+            total: 0,
+            sum_ps: 0,
+            max_ps: 0,
+            min_ps: u64::MAX,
+        }
     }
 
     fn index(ps: u64) -> usize {

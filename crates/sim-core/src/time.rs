@@ -53,7 +53,10 @@ impl Duration {
     ///
     /// Panics if `ns` is negative or not finite.
     pub fn from_ns_f64(ns: f64) -> Self {
-        assert!(ns.is_finite() && ns >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "duration must be finite and non-negative"
+        );
         Duration((ns * 1_000.0).round() as u64)
     }
 
@@ -89,7 +92,10 @@ impl Duration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> Duration {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and non-negative"
+        );
         Duration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -212,7 +218,10 @@ impl Time {
     ///
     /// Panics if `earlier` is later than `self`.
     pub fn duration_since(self, earlier: Time) -> Duration {
-        assert!(earlier.0 <= self.0, "duration_since: earlier instant is after self");
+        assert!(
+            earlier.0 <= self.0,
+            "duration_since: earlier instant is after self"
+        );
         Duration(self.0 - earlier.0)
     }
 
@@ -317,7 +326,9 @@ impl ClockDomain {
     /// Panics if `mhz` is zero.
     pub const fn from_mhz(mhz: u64) -> Self {
         assert!(mhz > 0, "clock frequency must be non-zero");
-        ClockDomain { period_ps: 1_000_000 / mhz }
+        ClockDomain {
+            period_ps: 1_000_000 / mhz,
+        }
     }
 
     /// Creates a clock domain from an explicit period in picoseconds.
@@ -418,16 +429,28 @@ mod tests {
     fn clock_domain_conversions() {
         let fpga = DEVICE_CLOCK;
         assert_eq!(fpga.period().as_picos(), 2_500);
-        assert_eq!(fpga.cycles_to_duration(Cycles(400_000)).as_micros_f64(), 1_000.0);
+        assert_eq!(
+            fpga.cycles_to_duration(Cycles(400_000)).as_micros_f64(),
+            1_000.0
+        );
         // Rounds up: 1ns at 400MHz needs a full cycle.
         assert_eq!(fpga.duration_to_cycles(Duration::from_nanos(1)), Cycles(1));
-        assert_eq!(fpga.duration_to_cycles(Duration::from_picos(2_500)), Cycles(1));
-        assert_eq!(fpga.duration_to_cycles(Duration::from_picos(2_501)), Cycles(2));
+        assert_eq!(
+            fpga.duration_to_cycles(Duration::from_picos(2_500)),
+            Cycles(1)
+        );
+        assert_eq!(
+            fpga.duration_to_cycles(Duration::from_picos(2_501)),
+            Cycles(2)
+        );
     }
 
     #[test]
     fn host_clock_close_to_2_2_ghz() {
         let hz = 1e12 / HOST_CLOCK.period().as_picos() as f64;
-        assert!((hz - 2.2e9).abs() / 2.2e9 < 0.01, "host clock within 1% of 2.2GHz");
+        assert!(
+            (hz - 2.2e9).abs() / 2.2e9 < 0.01,
+            "host clock within 1% of 2.2GHz"
+        );
     }
 }

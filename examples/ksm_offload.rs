@@ -14,8 +14,9 @@ fn run_backend(name: &str, backend: Box<dyn OffloadBackend>) {
 
     // 8 small VMs, 64 candidate pages each (guest kernels and common
     // libraries produce the Duplicate class).
-    let ids: Vec<KsmPageId> =
-        (0..8 * 64).map(|_| ksm.register(mix.sample(&mut rng).generate(&mut rng))).collect();
+    let ids: Vec<KsmPageId> = (0..8 * 64)
+        .map(|_| ksm.register(mix.sample(&mut rng).generate(&mut rng)))
+        .collect();
 
     let mut t = Time::ZERO;
     let mut cpu = Duration::ZERO;

@@ -59,6 +59,8 @@ fn main() {
     let c = dev.counters();
     println!(
         "device served {} D2H, {} D2D, {} H2D requests",
-        c.d2h_requests, c.d2d_requests, c.h2d_requests
+        c.get("device.d2h.requests"),
+        c.get("device.d2d.requests"),
+        c.get("device.h2d.requests")
     );
 }

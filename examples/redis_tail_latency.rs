@@ -22,7 +22,9 @@ fn main() {
         zswap.store(SwapKey(i), &value, Time::ZERO, &mut host);
     }
     // ...and fault back in bit-identical.
-    let (page, _) = zswap.load(SwapKey(7), Time::from_nanos(1_000_000), &mut host).unwrap();
+    let (page, _) = zswap
+        .load(SwapKey(7), Time::from_nanos(1_000_000), &mut host)
+        .unwrap();
     assert_eq!(kv.get(b"key:7"), Some(page.as_slice()));
     println!(
         "functional check: 64 values stored ({} KiB), key:7 survived a swap cycle\n",
@@ -35,7 +37,11 @@ fn main() {
     println!("Redis p99 under zswap, YCSB-A (normalized to no-zswap):");
     let base = run_zswap(&cfg, YcsbWorkload::A, BackendKind::None);
     for kind in BackendKind::ALL {
-        let r = if kind == BackendKind::None { base.clone() } else { run_zswap(&cfg, YcsbWorkload::A, kind) };
+        let r = if kind == BackendKind::None {
+            base.clone()
+        } else {
+            run_zswap(&cfg, YcsbWorkload::A, kind)
+        };
         println!(
             "  {:<12} p99 = {:>8.1} us  ({:>5.2}x)  host CPU {:>4.1}%",
             format!("{}-zswap", kind.name()),

@@ -10,7 +10,9 @@ fn run_backend(name: &str, mut backend: Box<dyn OffloadBackend>) {
     let mut host = Socket::xeon_6538y();
     let mut rng = SimRng::seed_from(2024);
     let mix = PageMix::datacenter();
-    let pages: Vec<PageData> = (0..32).map(|_| mix.sample(&mut rng).generate(&mut rng)).collect();
+    let pages: Vec<PageData> = (0..32)
+        .map(|_| mix.sample(&mut rng).generate(&mut rng))
+        .collect();
 
     let mut t = Time::ZERO;
     let mut host_cpu = Duration::ZERO;
@@ -36,7 +38,10 @@ fn run_backend(name: &str, mut backend: Box<dyn OffloadBackend>) {
         b.total.as_micros_f64(),
     );
     if backend.zpool_in_device_memory() {
-        println!("{:<10} (zpool lives in device memory — host DRAM is not consumed)", "");
+        println!(
+            "{:<10} (zpool lives in device memory — host DRAM is not consumed)",
+            ""
+        );
     }
 }
 
@@ -53,7 +58,9 @@ fn main() {
     let mut rng = SimRng::seed_from(7);
     let page = PageContent::Text.generate(&mut rng);
     let st = z.store(SwapKey(1), &page, Time::ZERO, &mut host);
-    let (restored, ld) = z.load(SwapKey(1), st.completion, &mut host).expect("stored");
+    let (restored, ld) = z
+        .load(SwapKey(1), st.completion, &mut host)
+        .expect("stored");
     assert_eq!(restored, page);
     println!(
         "  store: {:.2} us (pool hit: {})   load: {:.2} us (decompressed via NC-P push)",

@@ -30,7 +30,11 @@ fn device_bias_degrades_hints_to_plain_accesses() {
     // NC-read: non-cacheable — no allocation.
     let nc = dev.d2d(RequestType::NC_RD, base.offset(2), t, &mut host);
     t = nc.completion;
-    assert_eq!(dev.dmc_state(base.offset(2)), None, "NC-rd does not allocate");
+    assert_eq!(
+        dev.dmc_state(base.offset(2)),
+        None,
+        "NC-rd does not allocate"
+    );
 
     // CO-write: cacheable write (Modified in DMC); NC-write: non-cacheable.
     let cow = dev.d2d(RequestType::CO_WR, base.offset(3), t, &mut host);
@@ -38,7 +42,11 @@ fn device_bias_degrades_hints_to_plain_accesses() {
     assert_eq!(dev.dmc_state(base.offset(3)), Some(MesiState::Modified));
     let ncw = dev.d2d(RequestType::NC_WR, base.offset(4), t, &mut host);
     let _ = ncw;
-    assert_eq!(dev.dmc_state(base.offset(4)), None, "NC-wr does not allocate");
+    assert_eq!(
+        dev.dmc_state(base.offset(4)),
+        None,
+        "NC-wr does not allocate"
+    );
 }
 
 /// §IV-B: "In host-bias mode, D2D requests exhibit the same cache
@@ -67,7 +75,11 @@ fn bias_mode_lifecycle() {
     let mut t = Time::ZERO;
     for round in 0..3 {
         t = dev.enter_device_bias(base, 8, t, &mut host);
-        assert_eq!(dev.bias.mode_of(byte), BiasMode::DeviceBias, "round {round}");
+        assert_eq!(
+            dev.bias.mode_of(byte),
+            BiasMode::DeviceBias,
+            "round {round}"
+        );
         // Device works in device bias...
         t = dev.d2d(RequestType::CO_WR, base, t, &mut host).completion;
         // ...until the host touches the region.
@@ -97,7 +109,10 @@ fn device_bias_entry_flushes_dirty_host_lines() {
     assert_eq!(host.caches.llc_state(a), None, "flushed");
     // The dirty *device* line writes back over CXL into device memory,
     // not host DRAM.
-    assert!(dev.dev_mem.op_counts().1 > dev_w0, "written back to device memory");
+    assert!(
+        dev.dev_mem.op_counts().1 > dev_w0,
+        "written back to device memory"
+    );
     assert_eq!(host.mem.op_counts().1, host_w0, "host DRAM untouched");
     // And the subsequent device-bias access proceeds without a snoop.
     let acc = dev.d2d(RequestType::CS_RD, a, t, &mut host);

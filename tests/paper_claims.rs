@@ -9,8 +9,10 @@ use cxl_t2_sim::prelude::*;
 #[test]
 fn insight1_emulation_is_misleading() {
     let rows = cxl_bench::fig3::run_fig3(100, 1);
-    let cs_rd_miss =
-        rows.iter().find(|r| r.request == "CS-rd" && !r.llc_hit).expect("row exists");
+    let cs_rd_miss = rows
+        .iter()
+        .find(|r| r.request == "CS-rd" && !r.llc_hit)
+        .expect("row exists");
     assert!(
         cs_rd_miss.cxl_latency_ns > cs_rd_miss.emu_latency_ns,
         "emulation underestimates D2H latency"
@@ -34,7 +36,9 @@ fn insight2_device_bias_wins_for_writes() {
     let mut t = Time::ZERO;
     let start = t;
     for i in 0..n {
-        t = dev.d2d(RequestType::CO_WR, region.offset(i), t, &mut host).completion;
+        t = dev
+            .d2d(RequestType::CO_WR, region.offset(i), t, &mut host)
+            .completion;
     }
     let host_bias = t.duration_since(start);
     // Device-bias pass over a fresh region.
@@ -42,7 +46,9 @@ fn insight2_device_bias_wins_for_writes() {
     let mut t = dev.enter_device_bias(region2, n, t, &mut host);
     let start = t;
     for i in 0..n {
-        t = dev.d2d(RequestType::CO_WR, region2.offset(i), t, &mut host).completion;
+        t = dev
+            .d2d(RequestType::CO_WR, region2.offset(i), t, &mut host)
+            .completion;
     }
     let device_bias = t.duration_since(start);
     assert!(
@@ -72,7 +78,10 @@ fn insight3_dirty_dmc_hurts_h2d() {
     let t2 = b.completion + Duration::from_nanos(500);
     let c = dev.h2d_load(device_line(30), t2, &mut host);
     let miss_lat = c.completion.duration_since(t2);
-    assert!(dirty_lat > miss_lat.mul_f64(1.1), "dirty {dirty_lat} vs miss {miss_lat}");
+    assert!(
+        dirty_lat > miss_lat.mul_f64(1.1),
+        "dirty {dirty_lat} vs miss {miss_lat}"
+    );
     assert!(
         (shared_lat.as_nanos_f64() - miss_lat.as_nanos_f64()).abs()
             < 0.05 * miss_lat.as_nanos_f64(),
@@ -104,7 +113,10 @@ fn insight4_ncp_eliminates_h2d_penalty() {
     }
     let with = t.duration_since(start);
     let reduction = 1.0 - with.as_nanos_f64() / without.as_nanos_f64();
-    assert!(reduction > 0.7, "NC-P reduction {reduction} (paper: 82-87%)");
+    assert!(
+        reduction > 0.7,
+        "NC-P reduction {reduction} (paper: 82-87%)"
+    );
 }
 
 /// Insight 5: for small transfers, CXL beats every PCIe mechanism in both
@@ -115,11 +127,18 @@ fn insight5_cxl_wins_small_transfers_and_d2h_beats_h2d() {
     let h2d = run_fig6(Direction::H2d, true);
     let d2h = run_fig6(Direction::D2h, true);
     let get = |pts: &[cxl_bench::fig6::Fig6Point], m: Mechanism, b: u64| {
-        pts.iter().find(|p| p.mechanism == m && p.bytes == b).expect("point").latency_ns
+        pts.iter()
+            .find(|p| p.mechanism == m && p.bytes == b)
+            .expect("point")
+            .latency_ns
     };
     for bytes in [64, 256, 1024] {
         let cxl = get(&h2d, Mechanism::CxlLdSt, bytes);
-        for m in [Mechanism::PcieMmio, Mechanism::PcieRdma, Mechanism::PcieDocaDma] {
+        for m in [
+            Mechanism::PcieMmio,
+            Mechanism::PcieRdma,
+            Mechanism::PcieDocaDma,
+        ] {
             assert!(cxl < get(&h2d, m, bytes), "{bytes}B H2D: CXL should win");
         }
     }

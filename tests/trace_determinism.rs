@@ -1,0 +1,53 @@
+//! Trace determinism: the observability layer is keyed entirely off the
+//! simulation's seeded RNG and simulated clock — no wall time, no
+//! iteration-order nondeterminism. Two runs with the same seed must
+//! therefore export *byte-identical* JSONL traces, and different seeds
+//! must diverge.
+
+use kvs::fig8::{run_zswap, BackendKind, Fig8Config};
+use kvs::ycsb::YcsbWorkload;
+use sim_core::time::Duration;
+use sim_core::trace;
+
+/// One traced fig8 cxl-zswap run, exported as JSONL.
+fn traced_fig8_jsonl(seed: u64) -> String {
+    let cfg = Fig8Config {
+        seed,
+        duration: Duration::from_millis(18),
+        keys_per_server: 600,
+        zone_pages: 1_000,
+        antagonist_burst: 128,
+        antagonist_live_bursts: 4,
+        ..Fig8Config::default()
+    };
+    trace::install(1 << 16);
+    let report = run_zswap(&cfg, YcsbWorkload::B, BackendKind::Cxl);
+    assert!(report.requests > 0, "run produced traffic");
+    trace::to_jsonl(&trace::uninstall())
+}
+
+#[test]
+fn same_seed_exports_byte_identical_traces() {
+    let a = traced_fig8_jsonl(42);
+    let b = traced_fig8_jsonl(42);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must reproduce the trace byte for byte");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = traced_fig8_jsonl(42);
+    let b = traced_fig8_jsonl(43);
+    assert_ne!(a, b, "different seeds must produce different traces");
+}
+
+#[test]
+fn jsonl_round_trips_through_the_parser() {
+    let text = traced_fig8_jsonl(7);
+    let events = trace::from_jsonl(&text).expect("export parses");
+    assert_eq!(
+        trace::to_jsonl(&events),
+        text,
+        "parse/serialize is lossless"
+    );
+}

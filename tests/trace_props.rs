@@ -1,0 +1,350 @@
+//! Property tests for the observability layer: ring wrap-around keeps
+//! the newest events in emission order, the JSONL codec round-trips
+//! every event variant losslessly, and counter-registry merging is
+//! additive and commutative.
+
+use proptest::prelude::*;
+use sim_core::time::Time;
+use sim_core::trace::{
+    self, BackendId, BiasKind, CacheId, CounterRegistry, KsmStep, KvsStep, Lane, LineState, MemId,
+    OffloadFn, OffloadStep, OpKind, SnoopKind, TimedEvent, TraceEvent, TraceRing, ZswapStep,
+};
+
+const LANES: &[Lane] = &[Lane::D2h, Lane::D2d, Lane::H2d];
+const OPS: &[OpKind] = &[
+    OpKind::NcP,
+    OpKind::NcRd,
+    OpKind::NcWr,
+    OpKind::CoRd,
+    OpKind::CoWr,
+    OpKind::CsRd,
+    OpKind::Load,
+    OpKind::NtLoad,
+    OpKind::Store,
+    OpKind::NtStore,
+];
+const CACHES: &[CacheId] = &[
+    CacheId::Hmc,
+    CacheId::Dmc,
+    CacheId::HostL1,
+    CacheId::HostL2,
+    CacheId::HostLlc,
+];
+const MEMS: &[MemId] = &[MemId::HostDram, MemId::DevDram];
+const STATES: &[LineState] = &[
+    LineState::Modified,
+    LineState::Exclusive,
+    LineState::Shared,
+    LineState::Invalid,
+];
+const SNOOPS: &[SnoopKind] = &[
+    SnoopKind::Current,
+    SnoopKind::Shared,
+    SnoopKind::Invalidate,
+    SnoopKind::BackInvalidate,
+];
+const BIASES: &[BiasKind] = &[BiasKind::HostBias, BiasKind::DeviceBias];
+const BACKENDS: &[BackendId] = &[
+    BackendId::Cpu,
+    BackendId::PcieRdma,
+    BackendId::PcieDma,
+    BackendId::Cxl,
+];
+const OFFLOAD_FNS: &[OffloadFn] = &[
+    OffloadFn::Compress,
+    OffloadFn::Decompress,
+    OffloadFn::Checksum,
+    OffloadFn::Compare,
+];
+const OFFLOAD_STEPS: &[OffloadStep] = &[
+    OffloadStep::Dispatch,
+    OffloadStep::TransferIn,
+    OffloadStep::Compute,
+    OffloadStep::TransferOut,
+    OffloadStep::Complete,
+];
+const ZSWAP_STEPS: &[ZswapStep] = &[
+    ZswapStep::StoreBegin,
+    ZswapStep::StoreSameFilled,
+    ZswapStep::StorePooled,
+    ZswapStep::StoreRejected,
+    ZswapStep::LoadPoolHit,
+    ZswapStep::LoadSameFilled,
+    ZswapStep::LoadDisk,
+    ZswapStep::WritebackEvict,
+    ZswapStep::Invalidate,
+];
+const KSM_STEPS: &[KsmStep] = &[
+    KsmStep::ScanBegin,
+    KsmStep::ChecksumVolatile,
+    KsmStep::MergedStable,
+    KsmStep::MergedUnstable,
+    KsmStep::UnstableInsert,
+    KsmStep::CowBreak,
+];
+const KVS_STEPS: &[KvsStep] = &[
+    KvsStep::Arrival,
+    KvsStep::FaultIn,
+    KvsStep::Insert,
+    KvsStep::Enqueued,
+];
+const SPAN_NAMES: &[&str] = &["zswap.store", "ksm.scan", "kvs.request"];
+
+fn pick<T: Copy + 'static>(opts: &'static [T]) -> impl Strategy<Value = T> {
+    any::<u64>().prop_map(move |i| opts[(i % opts.len() as u64) as usize])
+}
+
+/// One literal of every [`TraceEvent`] variant — keeps full variant
+/// coverage deterministic rather than hoping random sampling hits all 22.
+fn one_of_each() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::Request {
+            lane: Lane::D2h,
+            op: OpKind::NcP,
+            addr: 7,
+        },
+        TraceEvent::CacheAccess {
+            cache: CacheId::Hmc,
+            addr: 1,
+            hit: true,
+        },
+        TraceEvent::CacheFill {
+            cache: CacheId::Dmc,
+            addr: 2,
+            state: LineState::Exclusive,
+        },
+        TraceEvent::CacheState {
+            cache: CacheId::HostLlc,
+            addr: 3,
+            state: LineState::Shared,
+        },
+        TraceEvent::CacheInvalidate {
+            cache: CacheId::HostL1,
+            addr: 4,
+        },
+        TraceEvent::CacheWriteback {
+            cache: CacheId::HostL2,
+            addr: 5,
+        },
+        TraceEvent::LlcPush { addr: 6 },
+        TraceEvent::Snoop {
+            kind: SnoopKind::BackInvalidate,
+            addr: 8,
+            hit: true,
+            dirty: false,
+        },
+        TraceEvent::BiasSwitch {
+            region_offset: 4096,
+            to: BiasKind::DeviceBias,
+        },
+        TraceEvent::MemRead {
+            mem: MemId::HostDram,
+            addr: 9,
+        },
+        TraceEvent::MemWrite {
+            mem: MemId::DevDram,
+            addr: 10,
+        },
+        TraceEvent::UpiTransfer {
+            bytes: 64,
+            write: true,
+        },
+        TraceEvent::DmaDescriptor { bytes: 4096 },
+        TraceEvent::RdmaVerb { bytes: 2048 },
+        TraceEvent::DdioDeliver {
+            llc_lines: 16,
+            dram_lines: 48,
+        },
+        TraceEvent::LsuBurst {
+            lane: Lane::D2d,
+            lines: 64,
+        },
+        TraceEvent::Offload {
+            backend: BackendId::Cxl,
+            func: OffloadFn::Compress,
+            step: OffloadStep::Compute,
+            bytes: 4096,
+        },
+        TraceEvent::Zswap {
+            step: ZswapStep::StorePooled,
+            key: 11,
+            bytes: 1234,
+        },
+        TraceEvent::Ksm {
+            step: KsmStep::MergedStable,
+            page: 12,
+            aux: 3,
+        },
+        TraceEvent::Kvs {
+            step: KvsStep::FaultIn,
+            server: 1,
+            key: 13,
+        },
+        TraceEvent::SpanBegin {
+            name: "zswap.store",
+        },
+        TraceEvent::SpanEnd {
+            name: "zswap.store",
+            elapsed_ps: 250_000,
+        },
+    ]
+}
+
+fn event_strategy() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        (pick(LANES), pick(OPS), any::<u64>()).prop_map(|(lane, op, addr)| TraceEvent::Request {
+            lane,
+            op,
+            addr
+        }),
+        (pick(CACHES), any::<u64>(), any::<bool>())
+            .prop_map(|(cache, addr, hit)| TraceEvent::CacheAccess { cache, addr, hit }),
+        (pick(CACHES), any::<u64>(), pick(STATES))
+            .prop_map(|(cache, addr, state)| TraceEvent::CacheFill { cache, addr, state }),
+        (pick(CACHES), any::<u64>(), pick(STATES))
+            .prop_map(|(cache, addr, state)| TraceEvent::CacheState { cache, addr, state }),
+        (pick(CACHES), any::<u64>())
+            .prop_map(|(cache, addr)| TraceEvent::CacheInvalidate { cache, addr }),
+        (pick(CACHES), any::<u64>())
+            .prop_map(|(cache, addr)| TraceEvent::CacheWriteback { cache, addr }),
+        any::<u64>().prop_map(|addr| TraceEvent::LlcPush { addr }),
+        (pick(SNOOPS), any::<u64>(), any::<bool>(), any::<bool>()).prop_map(
+            |(kind, addr, hit, dirty)| TraceEvent::Snoop {
+                kind,
+                addr,
+                hit,
+                dirty
+            }
+        ),
+        (any::<u64>(), pick(BIASES))
+            .prop_map(|(region_offset, to)| TraceEvent::BiasSwitch { region_offset, to }),
+        (pick(MEMS), any::<u64>()).prop_map(|(mem, addr)| TraceEvent::MemRead { mem, addr }),
+        (pick(MEMS), any::<u64>()).prop_map(|(mem, addr)| TraceEvent::MemWrite { mem, addr }),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(bytes, write)| TraceEvent::UpiTransfer { bytes, write }),
+        any::<u64>().prop_map(|bytes| TraceEvent::DmaDescriptor { bytes }),
+        any::<u64>().prop_map(|bytes| TraceEvent::RdmaVerb { bytes }),
+        (any::<u64>(), any::<u64>()).prop_map(|(llc_lines, dram_lines)| TraceEvent::DdioDeliver {
+            llc_lines,
+            dram_lines
+        }),
+        (pick(LANES), any::<u64>()).prop_map(|(lane, lines)| TraceEvent::LsuBurst { lane, lines }),
+        (
+            pick(BACKENDS),
+            pick(OFFLOAD_FNS),
+            pick(OFFLOAD_STEPS),
+            any::<u64>()
+        )
+            .prop_map(|(backend, func, step, bytes)| TraceEvent::Offload {
+                backend,
+                func,
+                step,
+                bytes
+            }),
+        (pick(ZSWAP_STEPS), any::<u64>(), any::<u64>())
+            .prop_map(|(step, key, bytes)| TraceEvent::Zswap { step, key, bytes }),
+        (pick(KSM_STEPS), any::<u64>(), any::<u64>())
+            .prop_map(|(step, page, aux)| TraceEvent::Ksm { step, page, aux }),
+        (pick(KVS_STEPS), any::<u32>(), any::<u64>())
+            .prop_map(|(step, server, key)| TraceEvent::Kvs { step, server, key }),
+        pick(SPAN_NAMES).prop_map(|name| TraceEvent::SpanBegin { name }),
+        (pick(SPAN_NAMES), any::<u64>())
+            .prop_map(|(name, elapsed_ps)| TraceEvent::SpanEnd { name, elapsed_ps }),
+    ]
+}
+
+#[test]
+fn jsonl_round_trips_one_of_every_variant() {
+    let timed: Vec<TimedEvent> = one_of_each()
+        .into_iter()
+        .enumerate()
+        .map(|(i, event)| TimedEvent {
+            seq: i as u64,
+            at: Time::from_picos(1_000 * i as u64),
+            event,
+        })
+        .collect();
+    let text = trace::to_jsonl(&timed);
+    let parsed = trace::from_jsonl(&text).expect("every variant parses back");
+    assert_eq!(parsed, timed);
+    // The human rendering covers every variant without panicking.
+    assert_eq!(trace::to_human(&timed).lines().count(), timed.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn jsonl_round_trip_is_lossless(
+        events in prop::collection::vec(event_strategy(), 0..40),
+        base_ps in 0u64..1_000_000_000,
+    ) {
+        let timed: Vec<TimedEvent> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &event)| TimedEvent {
+                seq: i as u64,
+                at: Time::from_picos(base_ps + 17 * i as u64),
+                event,
+            })
+            .collect();
+        let text = trace::to_jsonl(&timed);
+        let parsed = trace::from_jsonl(&text).expect("export parses");
+        prop_assert_eq!(parsed, timed);
+    }
+
+    #[test]
+    fn ring_wrap_keeps_newest_in_emission_order(
+        events in prop::collection::vec(event_strategy(), 0..300),
+        capacity in 1usize..80,
+    ) {
+        let mut ring = TraceRing::new(capacity);
+        for (i, &event) in events.iter().enumerate() {
+            ring.push(Time::from_picos(i as u64), event);
+        }
+        let kept = ring.to_vec();
+        let expect_len = events.len().min(capacity);
+        prop_assert_eq!(kept.len(), expect_len);
+        prop_assert_eq!(ring.dropped(), events.len().saturating_sub(capacity) as u64);
+        // The retained window is exactly the newest events, oldest first,
+        // with contiguous sequence numbers.
+        let first_kept = events.len() - expect_len;
+        for (i, te) in kept.iter().enumerate() {
+            prop_assert_eq!(te.seq, (first_kept + i) as u64);
+            prop_assert_eq!(te.event, events[first_kept + i]);
+        }
+    }
+
+    #[test]
+    fn registry_merge_is_additive_and_commutative(
+        a_incrs in prop::collection::vec((0usize..6, 1u64..1000), 0..30),
+        b_incrs in prop::collection::vec((0usize..6, 1u64..1000), 0..30),
+    ) {
+        const NAMES: [&str; 6] = [
+            "device.d2h.requests",
+            "device.d2d.requests",
+            "device.h2d.requests",
+            "device.hmc.writebacks",
+            "device.dmc.writebacks",
+            "kvs.faults",
+        ];
+        let build = |incrs: &[(usize, u64)]| {
+            let mut c = CounterRegistry::new();
+            for &(i, n) in incrs {
+                c.add(NAMES[i], n);
+            }
+            c
+        };
+        let a = build(&a_incrs);
+        let b = build(&b_incrs);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        for name in NAMES {
+            prop_assert_eq!(ab.get(name), a.get(name) + b.get(name));
+        }
+        prop_assert_eq!(ab.sum_prefix("device"), a.sum_prefix("device") + b.sum_prefix("device"));
+    }
+}
