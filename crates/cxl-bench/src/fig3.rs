@@ -138,16 +138,13 @@ pub fn run_fig3(reps: usize, seed: u64) -> Vec<Fig3Row> {
                 let single = emulated_access(&mut numa, req, addrs[0], t);
                 elat.record(single.duration_since(t).as_nanos_f64());
                 t = single;
-                let spec = host::burst::BurstSpec::new(
-                    BURST,
-                    numa.home.timing.core_issue_interval,
-                    if req.is_read() {
-                        // UPI occupancy credits bind remote reads.
-                        numa.home.timing.max_outstanding_remote
-                    } else {
-                        numa.home.timing.max_outstanding_stores
-                    },
-                );
+                let port = if req.is_read() {
+                    // UPI occupancy credits bind remote reads.
+                    numa.home.remote_load_port()
+                } else {
+                    numa.home.store_port()
+                };
+                let spec = host::burst::BurstSpec::from_port(BURST, &port);
                 let burst = host::burst::run_burst(spec, t, |i, at| {
                     emulated_access(&mut numa, req, addrs[i], at)
                 });

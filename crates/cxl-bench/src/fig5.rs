@@ -3,6 +3,7 @@
 
 use cxl_type2::addr::device_line;
 use cxl_type2::device::CxlDevice;
+pub use cxl_type2::device::H2dOp;
 use host::socket::Socket;
 use mem_subsys::coherence::MesiState;
 use sim_core::rng::SimRng;
@@ -46,34 +47,6 @@ impl H2dCase {
             H2dCase::T2DmcOwned => "T2 DMC-1 (E)",
             H2dCase::T2DmcModified => "T2 DMC-1 (M)",
             H2dCase::T2NcpPrefetch => "T2 NC-P->LLC",
-        }
-    }
-}
-
-/// Host operations plotted in Fig. 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum H2dOp {
-    /// Temporal load.
-    Ld,
-    /// Non-temporal load.
-    NtLd,
-    /// Temporal store.
-    St,
-    /// Non-temporal store.
-    NtSt,
-}
-
-impl H2dOp {
-    /// All ops in display order.
-    pub const ALL: [H2dOp; 4] = [H2dOp::Ld, H2dOp::NtLd, H2dOp::St, H2dOp::NtSt];
-
-    /// Display label.
-    pub fn label(self) -> &'static str {
-        match self {
-            H2dOp::Ld => "ld",
-            H2dOp::NtLd => "nt-ld",
-            H2dOp::St => "st",
-            H2dOp::NtSt => "nt-st",
         }
     }
 }
@@ -150,12 +123,7 @@ fn access(
     a: mem_subsys::line::LineAddr,
     t: Time,
 ) -> Time {
-    match op {
-        H2dOp::Ld => dev.h2d_load(a, t, host).completion,
-        H2dOp::NtLd => dev.h2d_nt_load(a, t, host).completion,
-        H2dOp::St => dev.h2d_store(a, t, host).completion,
-        H2dOp::NtSt => dev.h2d_nt_store(a, t, host).completion,
-    }
+    dev.h2d(op, a, t, host).completion
 }
 
 /// Runs the full Fig. 5 sweep.
@@ -183,14 +151,11 @@ pub fn run_fig5(reps: usize, seed: u64) -> Vec<Fig5Row> {
                 t = single;
                 // Restage the first line's state consumed by the access.
                 t = stage(case, &mut dev, &mut host, &addrs[..1], t);
-                let spec = host::burst::BurstSpec::new(
-                    BURST,
-                    host.timing.core_issue_interval,
-                    match op {
-                        H2dOp::Ld | H2dOp::NtLd => host.timing.max_outstanding_loads,
-                        _ => host.timing.max_outstanding_stores,
-                    },
-                );
+                let port = match op {
+                    H2dOp::Load | H2dOp::NtLoad => host.load_port(),
+                    _ => host.store_port(),
+                };
+                let spec = host::burst::BurstSpec::from_port(BURST, &port);
                 let burst = host::burst::run_burst(spec, t, |i, at| {
                     access(op, &mut dev, &mut host, addrs[i], at)
                 });
@@ -257,7 +222,7 @@ mod tests {
             let owned = find(&rows, op, H2dCase::T2DmcOwned);
             let modified = find(&rows, op, H2dCase::T2DmcModified);
             let shared = find(&rows, op, H2dCase::T2DmcShared);
-            if op == H2dOp::NtSt {
+            if op == H2dOp::NtStore {
                 // nt-st is posted: the single-access latency is the link
                 // trip regardless of DMC state; the dirty-line cost shows
                 // as ingress back-pressure, i.e. lower burst bandwidth.
@@ -280,8 +245,8 @@ mod tests {
             }
         }
         // Insight 4: NC-P prefetch slashes temporal-access latency.
-        let ld_pre = find(&rows, H2dOp::Ld, H2dCase::T2NcpPrefetch);
-        let ld_miss = find(&rows, H2dOp::Ld, H2dCase::T2DmcMiss);
+        let ld_pre = find(&rows, H2dOp::Load, H2dCase::T2NcpPrefetch);
+        let ld_miss = find(&rows, H2dOp::Load, H2dCase::T2DmcMiss);
         let reduction = 1.0 - ld_pre.latency_ns / ld_miss.latency_ns;
         assert!(reduction > 0.5, "NC-P latency reduction {reduction}");
         assert!(
@@ -289,7 +254,7 @@ mod tests {
             "NC-P bandwidth gain"
         );
         // nt-st completes at the controller: far higher bandwidth than ld.
-        let ntst = find(&rows, H2dOp::NtSt, H2dCase::T2DmcMiss);
+        let ntst = find(&rows, H2dOp::NtStore, H2dCase::T2DmcMiss);
         assert!(
             ntst.bw_gbps > 4.0 * ld_miss.bw_gbps,
             "nt-st posted-write bandwidth"

@@ -81,6 +81,12 @@ impl SliceArray {
         (h % self.slices.len() as u64) as usize
     }
 
+    /// The slice `addr` interleaves onto — the port a concurrent
+    /// transaction to this line must issue on.
+    pub fn slice_of(&self, addr: LineAddr) -> usize {
+        self.slice_for(addr)
+    }
+
     /// Total HMC capacity across slices.
     pub fn hmc_capacity_bytes(&self) -> u64 {
         HMC_BYTES_PER_SLICE * self.slices.len() as u64

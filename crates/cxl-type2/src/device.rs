@@ -20,6 +20,7 @@ use host::socket::Socket;
 use mem_subsys::coherence::MesiState;
 use mem_subsys::dram::{DramTech, MemorySystem};
 use mem_subsys::line::LineAddr;
+use sim_core::port::PortSpec;
 use sim_core::time::{Duration, Time};
 use sim_core::trace::{self, BiasKind, CacheId, CounterRegistry, Lane, MemId, OpKind, TraceEvent};
 
@@ -37,6 +38,46 @@ pub struct DeviceAccess {
     pub device_cache_hit: bool,
     /// Whether the host LLC held the line, when the host was consulted.
     pub llc_hit: Option<bool>,
+}
+
+/// A host-initiated H2D instruction flavor (§IV-C / Fig. 5): the four
+/// x86 access idioms the paper measures against device memory. All four
+/// run through the single parameterized flow of [`CxlDevice::h2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum H2dOp {
+    /// Temporal load (`ld`): allocates into the host hierarchy.
+    Load,
+    /// Non-temporal load (`nt-ld`): no host-cache allocation.
+    NtLoad,
+    /// Temporal store (`st`): write-allocates the line Modified.
+    Store,
+    /// Non-temporal store (`nt-st`): posted full-line write.
+    NtStore,
+}
+
+impl H2dOp {
+    /// All four flavors, in the order the paper's Fig. 5 plots them.
+    pub const ALL: [H2dOp; 4] = [H2dOp::Load, H2dOp::NtLoad, H2dOp::Store, H2dOp::NtStore];
+
+    /// The trace [`OpKind`] this flavor emits on its request event.
+    pub fn trace_kind(self) -> OpKind {
+        match self {
+            H2dOp::Load => OpKind::Load,
+            H2dOp::NtLoad => OpKind::NtLoad,
+            H2dOp::Store => OpKind::Store,
+            H2dOp::NtStore => OpKind::NtStore,
+        }
+    }
+
+    /// True for the write flavors (`st`, `nt-st`).
+    pub fn is_store(self) -> bool {
+        matches!(self, H2dOp::Store | H2dOp::NtStore)
+    }
+
+    /// Display label (the paper's x86 mnemonic).
+    pub fn label(self) -> &'static str {
+        self.trace_kind().as_str()
+    }
 }
 
 /// The trace [`OpKind`] a device [`RequestType`] maps to.
@@ -165,6 +206,63 @@ impl CxlDevice {
     /// Number of DCOH slices.
     pub fn slice_count(&self) -> usize {
         self.dcoh.slice_count()
+    }
+
+    /// The DCOH slice `addr` interleaves onto.
+    pub fn slice_of(&self, addr: LineAddr) -> usize {
+        self.dcoh.slice_of(addr)
+    }
+
+    // ---------------------------------------------------------------
+    // Transaction ports
+    // ---------------------------------------------------------------
+
+    /// The LSU's issue port: the FPGA request window, one request per
+    /// fabric cycle, with in-order retirement — the §V burst driver.
+    pub fn lsu_port(&self) -> PortSpec {
+        PortSpec::in_order(
+            "dev.lsu",
+            self.timing.lsu_max_outstanding,
+            self.timing.lsu_issue_interval,
+        )
+    }
+
+    /// The LSU window with out-of-order retirement — MSHR-style MLP for
+    /// measured-contention bandwidth runs, where a fast completion frees
+    /// its slot immediately instead of waiting behind an older miss.
+    pub fn lsu_port_ooo(&self) -> PortSpec {
+        PortSpec::out_of_order(
+            "dev.lsu.ooo",
+            self.timing.lsu_max_outstanding,
+            self.timing.lsu_issue_interval,
+        )
+    }
+
+    /// The H2D ingress port: buffer entries admit at link rate and drain
+    /// at the pipeline's service cadence.
+    pub fn h2d_ingress_port(&self) -> PortSpec {
+        PortSpec::out_of_order(
+            "dev.h2d.ingress",
+            self.timing.h2d_ingress_entries,
+            self.timing.h2d_ingress_occupancy,
+        )
+    }
+
+    /// One port per DCOH slice, each accepting overlapping H2D/D2H
+    /// transactions up to its request-table depth. Drive these through a
+    /// [`sim_core::port::PortEngine`] (routing each address with
+    /// [`CxlDevice::slice_of`]) to model concurrent traffic across
+    /// slices; a single slice serializes once its table fills.
+    pub fn slice_ports(&self) -> Vec<PortSpec> {
+        (0..self.dcoh.slice_count())
+            .map(|_| {
+                PortSpec::out_of_order(
+                    "dev.dcoh.slice",
+                    self.timing.dcoh_slice_outstanding,
+                    self.timing.lsu_issue_interval,
+                )
+            })
+            .collect()
     }
 
     /// The PCIe DVSEC register block the device exposes through CXL.io
@@ -1005,67 +1103,7 @@ impl CxlDevice {
     ///
     /// Panics if `addr` is not a device-memory address.
     pub fn h2d_load(&mut self, addr: LineAddr, now: Time, host: &mut Socket) -> DeviceAccess {
-        assert!(
-            is_device_addr(addr),
-            "H2D targets device memory; got {addr}"
-        );
-        self.counters.incr("device.h2d.requests");
-        trace::emit(
-            now,
-            TraceEvent::Request {
-                lane: Lane::H2d,
-                op: OpKind::Load,
-                addr: addr.index(),
-            },
-        );
-        let issue = now + host.timing.issue;
-        // CXL memory is cached in the host hierarchy like remote-NUMA
-        // memory; NC-P prefetches (Insight 4) hit here.
-        if let Some((level, _)) = host.caches.probe(addr) {
-            let (lvl, _) = host.caches.touch_load_with_victims(addr);
-            debug_assert_eq!(lvl, level);
-            trace::emit(
-                issue,
-                TraceEvent::CacheAccess {
-                    cache: host_cache_id(level),
-                    addr: addr.index(),
-                    hit: true,
-                },
-            );
-            let completion = match level {
-                HitLevel::L1 => issue + host.timing.l1,
-                HitLevel::L2 => issue + host.timing.l2,
-                HitLevel::Llc => issue + host.timing.llc,
-                HitLevel::Memory => unreachable!("probe said the line is cached"),
-            };
-            return DeviceAccess {
-                completion,
-                device_cache_hit: false,
-                llc_hit: Some(true),
-            };
-        }
-        trace::emit(
-            issue,
-            TraceEvent::CacheAccess {
-                cache: CacheId::HostLlc,
-                addr: addr.index(),
-                hit: false,
-            },
-        );
-        self.h2d_touch_bias(addr, issue);
-        let link = self.to_device.deliver(issue + host.timing.llc_lookup, 0);
-        let occupancy = self.h2d_occupancy(addr);
-        let arrive = self.ingress_admit(link, occupancy);
-        let dmc_hit = self.device_type == DeviceType::Type2 && self.dcoh.dmc_probe(addr).is_some();
-        let t = self.h2d_device_side(addr, arrive, false);
-        let data = self.dev_mem_read(addr, t);
-        let back = self.to_host.deliver(data, 64);
-        host.caches.touch_load_with_victims(addr);
-        DeviceAccess {
-            completion: back,
-            device_cache_hit: dmc_hit,
-            llc_hit: Some(false),
-        }
+        self.h2d(H2dOp::Load, addr, now, host)
     }
 
     /// Host non-temporal load (`nt-ld`): no host-cache allocation.
@@ -1074,62 +1112,7 @@ impl CxlDevice {
     ///
     /// Panics if `addr` is not a device-memory address.
     pub fn h2d_nt_load(&mut self, addr: LineAddr, now: Time, host: &mut Socket) -> DeviceAccess {
-        assert!(
-            is_device_addr(addr),
-            "H2D targets device memory; got {addr}"
-        );
-        self.counters.incr("device.h2d.requests");
-        trace::emit(
-            now,
-            TraceEvent::Request {
-                lane: Lane::H2d,
-                op: OpKind::NtLoad,
-                addr: addr.index(),
-            },
-        );
-        let issue = now + host.timing.issue;
-        if let Some((level, _)) = host.caches.probe(addr) {
-            trace::emit(
-                issue,
-                TraceEvent::CacheAccess {
-                    cache: host_cache_id(level),
-                    addr: addr.index(),
-                    hit: true,
-                },
-            );
-            let completion = match level {
-                HitLevel::L1 => issue + host.timing.l1,
-                HitLevel::L2 => issue + host.timing.l2,
-                HitLevel::Llc => issue + host.timing.llc,
-                HitLevel::Memory => unreachable!("probe said the line is cached"),
-            };
-            return DeviceAccess {
-                completion,
-                device_cache_hit: false,
-                llc_hit: Some(true),
-            };
-        }
-        trace::emit(
-            issue,
-            TraceEvent::CacheAccess {
-                cache: CacheId::HostLlc,
-                addr: addr.index(),
-                hit: false,
-            },
-        );
-        self.h2d_touch_bias(addr, issue);
-        let link = self.to_device.deliver(issue + host.timing.llc_lookup, 0);
-        let occupancy = self.h2d_occupancy(addr);
-        let arrive = self.ingress_admit(link, occupancy);
-        let dmc_hit = self.device_type == DeviceType::Type2 && self.dcoh.dmc_probe(addr).is_some();
-        let t = self.h2d_device_side(addr, arrive, false);
-        let data = self.dev_mem_read(addr, t);
-        let back = self.to_host.deliver(data, 64);
-        DeviceAccess {
-            completion: back,
-            device_cache_hit: dmc_hit,
-            llc_hit: Some(false),
-        }
+        self.h2d(H2dOp::NtLoad, addr, now, host)
     }
 
     /// Host temporal store (`st`): write-allocates the device line into the
@@ -1139,64 +1122,7 @@ impl CxlDevice {
     ///
     /// Panics if `addr` is not a device-memory address.
     pub fn h2d_store(&mut self, addr: LineAddr, now: Time, host: &mut Socket) -> DeviceAccess {
-        assert!(
-            is_device_addr(addr),
-            "H2D targets device memory; got {addr}"
-        );
-        self.counters.incr("device.h2d.requests");
-        trace::emit(
-            now,
-            TraceEvent::Request {
-                lane: Lane::H2d,
-                op: OpKind::Store,
-                addr: addr.index(),
-            },
-        );
-        let issue = now + host.timing.issue;
-        if host.caches.probe(addr).is_some() {
-            let (level, _) = host.caches.touch_store(addr);
-            trace::emit(
-                issue,
-                TraceEvent::CacheAccess {
-                    cache: host_cache_id(level),
-                    addr: addr.index(),
-                    hit: true,
-                },
-            );
-            let completion = match level {
-                HitLevel::L1 => issue + host.timing.l1,
-                HitLevel::L2 => issue + host.timing.l2,
-                _ => issue + host.timing.llc,
-            } + host.timing.store_commit;
-            return DeviceAccess {
-                completion,
-                device_cache_hit: false,
-                llc_hit: Some(true),
-            };
-        }
-        trace::emit(
-            issue,
-            TraceEvent::CacheAccess {
-                cache: CacheId::HostLlc,
-                addr: addr.index(),
-                hit: false,
-            },
-        );
-        self.h2d_touch_bias(addr, issue);
-        let link = self.to_device.deliver(issue + host.timing.llc_lookup, 0);
-        let occupancy = self.h2d_occupancy(addr);
-        let arrive = self.ingress_admit(link, occupancy);
-        let dmc_hit = self.device_type == DeviceType::Type2 && self.dcoh.dmc_probe(addr).is_some();
-        let t = self.h2d_device_side(addr, arrive, true);
-        // Write-allocate: fetch the line, then the host owns it Modified.
-        let data = self.dev_mem_read(addr, t);
-        let back = self.to_host.deliver(data, 64);
-        host.caches.touch_store(addr);
-        DeviceAccess {
-            completion: back + host.timing.store_commit,
-            device_cache_hit: dmc_hit,
-            llc_hit: Some(false),
-        }
+        self.h2d(H2dOp::Store, addr, now, host)
     }
 
     /// Host non-temporal store (`nt-st`): posted; the core perceives
@@ -1206,6 +1132,23 @@ impl CxlDevice {
     ///
     /// Panics if `addr` is not a device-memory address.
     pub fn h2d_nt_store(&mut self, addr: LineAddr, now: Time, host: &mut Socket) -> DeviceAccess {
+        self.h2d(H2dOp::NtStore, addr, now, host)
+    }
+
+    /// The single H2D transaction flow, parameterized by [`H2dOp`].
+    ///
+    /// All four host-initiated instruction flavors share one pipeline —
+    /// host-cache probe, bias touch, CXL.mem link, ingress-buffer
+    /// admission, DMC coherence check, device DRAM — and differ only in
+    /// allocation policy (temporal ops touch the host hierarchy),
+    /// direction (stores write-allocate or post), and completion point
+    /// (`nt-st` retires at ingress admission, everything else at the
+    /// response).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a device-memory address.
+    pub fn h2d(&mut self, op: H2dOp, addr: LineAddr, now: Time, host: &mut Socket) -> DeviceAccess {
         assert!(
             is_device_addr(addr),
             "H2D targets device memory; got {addr}"
@@ -1215,24 +1158,119 @@ impl CxlDevice {
             now,
             TraceEvent::Request {
                 lane: Lane::H2d,
-                op: OpKind::NtStore,
+                op: op.trace_kind(),
                 addr: addr.index(),
             },
         );
         let issue = now + host.timing.issue;
-        // Full-line overwrite drops any cached host copy.
-        host.caches.invalidate(addr);
+        // CXL memory is cached in the host hierarchy like remote-NUMA
+        // memory; NC-P prefetches (Insight 4) hit here. nt-st is the one
+        // flavor that never checks: a full-line overwrite just drops any
+        // cached host copy.
+        match op {
+            H2dOp::Load | H2dOp::NtLoad => {
+                if let Some((level, _)) = host.caches.probe(addr) {
+                    if op == H2dOp::Load {
+                        let (lvl, _) = host.caches.touch_load_with_victims(addr);
+                        debug_assert_eq!(lvl, level);
+                    }
+                    trace::emit(
+                        issue,
+                        TraceEvent::CacheAccess {
+                            cache: host_cache_id(level),
+                            addr: addr.index(),
+                            hit: true,
+                        },
+                    );
+                    let completion = match level {
+                        HitLevel::L1 => issue + host.timing.l1,
+                        HitLevel::L2 => issue + host.timing.l2,
+                        HitLevel::Llc => issue + host.timing.llc,
+                        HitLevel::Memory => unreachable!("probe said the line is cached"),
+                    };
+                    return DeviceAccess {
+                        completion,
+                        device_cache_hit: false,
+                        llc_hit: Some(true),
+                    };
+                }
+            }
+            H2dOp::Store => {
+                if host.caches.probe(addr).is_some() {
+                    let (level, _) = host.caches.touch_store(addr);
+                    trace::emit(
+                        issue,
+                        TraceEvent::CacheAccess {
+                            cache: host_cache_id(level),
+                            addr: addr.index(),
+                            hit: true,
+                        },
+                    );
+                    let completion = match level {
+                        HitLevel::L1 => issue + host.timing.l1,
+                        HitLevel::L2 => issue + host.timing.l2,
+                        _ => issue + host.timing.llc,
+                    } + host.timing.store_commit;
+                    return DeviceAccess {
+                        completion,
+                        device_cache_hit: false,
+                        llc_hit: Some(true),
+                    };
+                }
+            }
+            H2dOp::NtStore => {
+                host.caches.invalidate(addr);
+            }
+        }
+        if op != H2dOp::NtStore {
+            trace::emit(
+                issue,
+                TraceEvent::CacheAccess {
+                    cache: CacheId::HostLlc,
+                    addr: addr.index(),
+                    hit: false,
+                },
+            );
+        }
         self.h2d_touch_bias(addr, issue);
-        // Posted write: complete on ingress-buffer admission. A buffer
-        // kept busy by dirty-DMC write-backs back-pressures the link.
-        let link = self.to_device.deliver(issue, 64);
+        // Posted nt-st pushes the full line immediately; the other flavors
+        // pay an LLC lookup before a header-only request crosses the link.
+        let link = match op {
+            H2dOp::NtStore => self.to_device.deliver(issue, 64),
+            _ => self.to_device.deliver(issue + host.timing.llc_lookup, 0),
+        };
         let occupancy = self.h2d_occupancy(addr);
         let arrive = self.ingress_admit(link, occupancy);
         let dmc_hit = self.device_type == DeviceType::Type2 && self.dcoh.dmc_probe(addr).is_some();
-        let t = self.h2d_device_side(addr, arrive, true);
-        let _ = self.dev_mem_write(addr, t);
+        let t = self.h2d_device_side(addr, arrive, op.is_store());
+        if op == H2dOp::NtStore {
+            // A buffer kept busy by dirty-DMC write-backs back-pressures
+            // the link; the core perceives completion at admission.
+            let _ = self.dev_mem_write(addr, t);
+            return DeviceAccess {
+                completion: arrive,
+                device_cache_hit: dmc_hit,
+                llc_hit: Some(false),
+            };
+        }
+        // Loads fetch the line; `st` write-allocates (fetch, then the host
+        // owns it Modified).
+        let data = self.dev_mem_read(addr, t);
+        let back = self.to_host.deliver(data, 64);
+        let completion = match op {
+            H2dOp::Load => {
+                host.caches.touch_load_with_victims(addr);
+                back
+            }
+            H2dOp::NtLoad => back,
+            H2dOp::Store => {
+                host.caches.touch_store(addr);
+                back + host.timing.store_commit
+            }
+            H2dOp::NtStore => unreachable!("posted path returned above"),
+        };
         DeviceAccess {
-            completion: arrive,
+            completion,
             device_cache_hit: dmc_hit,
             llc_hit: Some(false),
         }
@@ -1705,6 +1743,101 @@ mod tests {
         let a = device_line(1300);
         let acc = t3.d2d(RequestType::CS_RD, a, Time::ZERO, &mut host);
         assert_eq!(acc.llc_hit, None, "Type-3 AFU never snoops the host");
+    }
+    /// The four `h2d_*` facades are exactly the parameterized [`CxlDevice::h2d`]
+    /// flow: running the facade and the unified entry point on identically
+    /// prepared (host, device) pairs yields the same [`DeviceAccess`].
+    #[test]
+    fn h2d_facades_match_parameterized_flow() {
+        for op in H2dOp::ALL {
+            for staged in [None, Some(MesiState::Shared), Some(MesiState::Modified)] {
+                let (mut host_a, mut dev_a) = setup();
+                let (mut host_b, mut dev_b) = setup();
+                let a = device_line(4242);
+                if let Some(s) = staged {
+                    dev_a.stage_dmc(a, s);
+                    dev_b.stage_dmc(a, s);
+                }
+                let t = Time::from_nanos(1_000);
+                let via_facade = match op {
+                    H2dOp::Load => dev_a.h2d_load(a, t, &mut host_a),
+                    H2dOp::NtLoad => dev_a.h2d_nt_load(a, t, &mut host_a),
+                    H2dOp::Store => dev_a.h2d_store(a, t, &mut host_a),
+                    H2dOp::NtStore => dev_a.h2d_nt_store(a, t, &mut host_a),
+                };
+                let via_unified = dev_b.h2d(op, a, t, &mut host_b);
+                assert_eq!(via_facade, via_unified, "{op:?} staged={staged:?}");
+                // Second access from warmed state exercises the host-cache
+                // hit paths of the temporal flavors.
+                let t2 = Time::from_nanos(50_000);
+                let again_facade = match op {
+                    H2dOp::Load => dev_a.h2d_load(a, t2, &mut host_a),
+                    H2dOp::NtLoad => dev_a.h2d_nt_load(a, t2, &mut host_a),
+                    H2dOp::Store => dev_a.h2d_store(a, t2, &mut host_a),
+                    H2dOp::NtStore => dev_a.h2d_nt_store(a, t2, &mut host_a),
+                };
+                let again_unified = dev_b.h2d(op, a, t2, &mut host_b);
+                assert_eq!(again_facade, again_unified, "warm {op:?} staged={staged:?}");
+            }
+        }
+    }
+
+    /// Pins the exact `DeviceAccess` each H2D flavor produced *before* the
+    /// four paths were collapsed into [`CxlDevice::h2d`] (values captured
+    /// from the pre-refactor code on a cold device at t = 1 µs, then again
+    /// at t = 50 µs from the warmed host cache). Any drift in the unified
+    /// flow shows up here as a picosecond diff.
+    #[test]
+    fn h2d_dedupe_preserves_pre_refactor_timings() {
+        // (staged DMC state, op, cold ps, cold dmc-hit, cold llc-hit,
+        //  warm ps, warm dmc-hit, warm llc-hit)
+        type Row = (Option<MesiState>, H2dOp, u64, bool, bool, u64, bool, bool);
+        #[rustfmt::skip]
+        let expected: &[Row] = &[
+            (None, H2dOp::Load,    1_251_618, false, false, 50_003_300, false, true),
+            (None, H2dOp::NtLoad,  1_251_618, false, false, 50_251_618, false, false),
+            (None, H2dOp::Store,   1_253_118, false, false, 50_004_800, false, true),
+            (None, H2dOp::NtStore, 1_037_214, false, false, 50_037_214, false, false),
+            (Some(MesiState::Shared), H2dOp::Load,    1_251_618, true, false, 50_003_300, false, true),
+            (Some(MesiState::Shared), H2dOp::NtLoad,  1_251_618, true, false, 50_251_618, true, false),
+            (Some(MesiState::Shared), H2dOp::Store,   1_253_118, true, false, 50_004_800, false, true),
+            (Some(MesiState::Shared), H2dOp::NtStore, 1_037_214, true, false, 50_037_214, false, false),
+            (Some(MesiState::Exclusive), H2dOp::Load,    1_271_618, true, false, 50_003_300, false, true),
+            (Some(MesiState::Exclusive), H2dOp::NtLoad,  1_271_618, true, false, 50_251_618, true, false),
+            (Some(MesiState::Exclusive), H2dOp::Store,   1_273_118, true, false, 50_004_800, false, true),
+            (Some(MesiState::Exclusive), H2dOp::NtStore, 1_037_214, true, false, 50_037_214, false, false),
+            (Some(MesiState::Modified), H2dOp::Load,    1_331_618, true, false, 50_003_300, false, true),
+            (Some(MesiState::Modified), H2dOp::NtLoad,  1_331_618, true, false, 50_251_618, true, false),
+            (Some(MesiState::Modified), H2dOp::Store,   1_333_118, true, false, 50_004_800, false, true),
+            (Some(MesiState::Modified), H2dOp::NtStore, 1_037_214, true, false, 50_037_214, false, false),
+        ];
+        for &(staged, op, cold_ps, cold_dmc, cold_llc, warm_ps, warm_dmc, warm_llc) in expected {
+            let (mut host, mut dev) = setup();
+            let a = device_line(42);
+            if let Some(s) = staged {
+                dev.stage_dmc(a, s);
+            }
+            let cold = dev.h2d(op, a, Time::from_nanos(1_000), &mut host);
+            assert_eq!(
+                (
+                    cold.completion.duration_since(Time::ZERO).as_picos(),
+                    cold.device_cache_hit,
+                    cold.llc_hit,
+                ),
+                (cold_ps, cold_dmc, Some(cold_llc)),
+                "cold {op:?} staged={staged:?}"
+            );
+            let warm = dev.h2d(op, a, Time::from_nanos(50_000), &mut host);
+            assert_eq!(
+                (
+                    warm.completion.duration_since(Time::ZERO).as_picos(),
+                    warm.device_cache_hit,
+                    warm.llc_hit,
+                ),
+                (warm_ps, warm_dmc, Some(warm_llc)),
+                "warm {op:?} staged={staged:?}"
+            );
+        }
     }
 }
 

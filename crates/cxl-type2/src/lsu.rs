@@ -11,6 +11,7 @@ use cxl_proto::request::RequestType;
 use host::burst::{run_burst, BurstResult, BurstSpec};
 use host::socket::Socket;
 use mem_subsys::line::LineAddr;
+use sim_core::port::PortEngine;
 use sim_core::time::Time;
 use sim_core::trace::{self, Lane, TraceEvent};
 
@@ -81,15 +82,81 @@ impl Lsu {
                 lines: addrs.len() as u64,
             },
         );
-        let spec = BurstSpec::new(
-            addrs.len(),
-            dev.timing.lsu_issue_interval,
-            dev.timing.lsu_max_outstanding,
-        );
+        let spec = BurstSpec::from_port(addrs.len(), &dev.lsu_port());
         run_burst(spec, start, |i, t| match target {
             BurstTarget::HostMemory => dev.d2h(req, addrs[i], t, host).completion,
             BurstTarget::DeviceMemory => dev.d2d(req, addrs[i], t, host).completion,
         })
+    }
+
+    /// Issues the burst as concurrent transactions: out-of-order LSU
+    /// retirement, one engine port per DCOH slice, each address routed to
+    /// its slice. Unlike [`Lsu::burst`]'s in-order window, a transaction
+    /// that completes early frees its slot immediately, and transactions
+    /// on different slices (and different memory channels underneath)
+    /// genuinely overlap — bandwidth is *measured* out of the shared
+    /// timing models rather than inferred from a serial schedule. `mlp`
+    /// caps the engine-wide memory-level parallelism by shrinking each
+    /// slice port's window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty or `mlp` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn concurrent_burst(
+        &self,
+        dev: &mut CxlDevice,
+        host: &mut Socket,
+        req: RequestType,
+        target: BurstTarget,
+        addrs: &[LineAddr],
+        start: Time,
+        mlp: usize,
+    ) -> BurstResult {
+        assert!(!addrs.is_empty(), "burst must contain at least one request");
+        assert!(mlp > 0, "concurrency requires at least one transaction");
+        let lane = match target {
+            BurstTarget::HostMemory => Lane::D2h,
+            BurstTarget::DeviceMemory => Lane::D2d,
+        };
+        trace::emit(
+            start,
+            TraceEvent::LsuBurst {
+                lane,
+                lines: addrs.len() as u64,
+            },
+        );
+        let mut engine: PortEngine<usize> = PortEngine::new();
+        let per_slice = mlp.min(dev.timing.dcoh_slice_outstanding);
+        let ports: Vec<_> = dev
+            .slice_ports()
+            .into_iter()
+            .map(|spec| {
+                let mut spec = spec;
+                spec.max_outstanding = spec.max_outstanding.min(per_slice);
+                engine.add_port(spec)
+            })
+            .collect();
+        for (i, &a) in addrs.iter().enumerate() {
+            engine.submit(ports[dev.slice_of(a)], start, i);
+        }
+        let done = engine.run(|_, &i, t| match target {
+            BurstTarget::HostMemory => dev.d2h(req, addrs[i], t, host).completion,
+            BurstTarget::DeviceMemory => dev.d2d(req, addrs[i], t, host).completion,
+        });
+        let mut first_issue = done.first().map(|c| c.issued).unwrap_or(start);
+        let mut last_completion = start;
+        let mut latencies = vec![sim_core::time::Duration::ZERO; addrs.len()];
+        for c in &done {
+            first_issue = first_issue.min(c.issued);
+            latencies[c.payload] = c.completed.duration_since(c.issued);
+            last_completion = last_completion.max(c.completed);
+        }
+        BurstResult {
+            first_issue,
+            last_completion,
+            latencies,
+        }
     }
 
     /// Issues a single access and returns its latency measurement point.

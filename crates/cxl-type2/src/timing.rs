@@ -41,6 +41,10 @@ pub struct DeviceTiming {
     /// Pipeline occupancy per H2D request (the issue slot, not the
     /// latency); DMC maintenance work extends it.
     pub h2d_ingress_occupancy: Duration,
+    /// Transactions one DCOH slice tracks concurrently (its request
+    /// table); H2D and D2H requests to the same slice share these
+    /// entries, so overlapping traffic serializes once they are full.
+    pub dcoh_slice_outstanding: usize,
 }
 
 impl Default for DeviceTiming {
@@ -61,6 +65,11 @@ impl Default for DeviceTiming {
             h2d_dirty_writeback: cyc(32),
             h2d_ingress_entries: 12,
             h2d_ingress_occupancy: cyc(1),
+            // Deep enough to cover the device-DRAM round trip (~165 ns /
+            // 2.5 ns fabric cycle): a shallower table leaves the channel
+            // bus idle and D2D bandwidth window-bound instead of
+            // drain-bound.
+            dcoh_slice_outstanding: 64,
         }
     }
 }

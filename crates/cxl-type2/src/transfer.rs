@@ -30,11 +30,7 @@ pub fn h2d_store_bytes(
     now: Time,
 ) -> Time {
     let n = lines_for(bytes);
-    let spec = BurstSpec::new(
-        n as usize,
-        host.timing.core_issue_interval,
-        host.timing.max_outstanding_stores,
-    );
+    let spec = BurstSpec::from_port(n as usize, &host.store_port());
     let r = run_burst(spec, now, |i, t| {
         dev.h2d_nt_store(start.offset(i as u64), t, host).completion
     });
@@ -51,11 +47,7 @@ pub fn h2d_load_bytes(
     now: Time,
 ) -> Time {
     let n = lines_for(bytes);
-    let spec = BurstSpec::new(
-        n as usize,
-        host.timing.core_issue_interval,
-        host.timing.max_outstanding_loads,
-    );
+    let spec = BurstSpec::from_port(n as usize, &host.load_port());
     let r = run_burst(spec, now, |i, t| {
         dev.h2d_load(start.offset(i as u64), t, host).completion
     });
@@ -73,11 +65,7 @@ pub fn d2h_read_bytes(
     now: Time,
 ) -> Time {
     let n = lines_for(bytes);
-    let spec = BurstSpec::new(
-        n as usize,
-        dev.timing.lsu_issue_interval,
-        dev.timing.lsu_max_outstanding,
-    );
+    let spec = BurstSpec::from_port(n as usize, &dev.lsu_port());
     let r = run_burst(spec, now, |i, t| {
         dev.d2h(RequestType::NC_RD, start.offset(i as u64), t, host)
             .completion
@@ -96,11 +84,7 @@ pub fn d2h_push_bytes(
     now: Time,
 ) -> Time {
     let n = lines_for(bytes);
-    let spec = BurstSpec::new(
-        n as usize,
-        dev.timing.lsu_issue_interval,
-        dev.timing.lsu_max_outstanding,
-    );
+    let spec = BurstSpec::from_port(n as usize, &dev.lsu_port());
     let r = run_burst(spec, now, |i, t| {
         dev.d2h(RequestType::NC_P, start.offset(i as u64), t, host)
             .completion
@@ -118,11 +102,7 @@ pub fn d2h_write_bytes(
     now: Time,
 ) -> Time {
     let n = lines_for(bytes);
-    let spec = BurstSpec::new(
-        n as usize,
-        dev.timing.lsu_issue_interval,
-        dev.timing.lsu_max_outstanding,
-    );
+    let spec = BurstSpec::from_port(n as usize, &dev.lsu_port());
     let r = run_burst(spec, now, |i, t| {
         dev.d2h(RequestType::NC_WR, start.offset(i as u64), t, host)
             .completion

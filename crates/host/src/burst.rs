@@ -6,7 +6,15 @@
 //! issue rate) follow the same pattern; [`run_burst`] drives any access
 //! closure under an issue interval and an outstanding-request cap, and
 //! reports the latency/bandwidth figures the paper plots.
+//!
+//! `run_burst` is a thin facade over [`sim_core::port::PortEngine`]: one
+//! in-order port whose window is the LD/ST queue (or LSU request window).
+//! The engine issues in the identical order and at the identical times the
+//! original closed-form loop did, so single-request latencies — and every
+//! figure derived from them — are unchanged; multi-port concurrency is
+//! available by driving the engine directly.
 
+use sim_core::port::{PortEngine, PortSpec};
 use sim_core::stats::bandwidth_gbps;
 use sim_core::time::{Duration, Time};
 
@@ -38,6 +46,16 @@ impl BurstSpec {
             issue_interval,
             max_outstanding,
         }
+    }
+
+    /// A burst of `n` requests constrained by `port`'s window and cadence
+    /// (`Socket::load_port`, `CxlDevice::lsu_port`, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn from_port(n: usize, port: &PortSpec) -> Self {
+        BurstSpec::new(n, port.issue_interval, port.max_outstanding)
     }
 }
 
@@ -93,25 +111,25 @@ pub fn run_burst(
     start: Time,
     mut access: impl FnMut(usize, Time) -> Time,
 ) -> BurstResult {
-    let mut completions: Vec<Time> = Vec::with_capacity(spec.n);
-    let mut latencies = Vec::with_capacity(spec.n);
-    let mut next_issue = start;
+    let mut engine: PortEngine<usize> = PortEngine::new();
+    let port = engine.add_port(PortSpec::in_order(
+        "burst",
+        spec.max_outstanding,
+        spec.issue_interval,
+    ));
+    for i in 0..spec.n {
+        engine.submit(port, start, i);
+    }
+    let done = engine.run(|_, &i, issue| access(i, issue));
     let mut first_issue = start;
     let mut last_completion = start;
-    for i in 0..spec.n {
-        let mut issue = next_issue;
-        if i >= spec.max_outstanding {
-            issue = issue.max(completions[i - spec.max_outstanding]);
+    let mut latencies = vec![Duration::ZERO; spec.n];
+    for c in &done {
+        if c.payload == 0 {
+            first_issue = c.issued;
         }
-        if i == 0 {
-            first_issue = issue;
-        }
-        let completion = access(i, issue);
-        assert!(completion >= issue, "access completed before it was issued");
-        completions.push(completion);
-        latencies.push(completion.duration_since(issue));
-        last_completion = last_completion.max(completion);
-        next_issue = issue + spec.issue_interval;
+        latencies[c.payload] = c.completed.duration_since(c.issued);
+        last_completion = last_completion.max(c.completed);
     }
     BurstResult {
         first_issue,

@@ -13,6 +13,7 @@
 
 use mem_subsys::dram::{DramTech, MemorySystem};
 use mem_subsys::line::LineAddr;
+use sim_core::port::PortSpec;
 use sim_core::time::{Duration, Time};
 use sim_core::trace::{self, CacheId, MemId, SnoopKind, TraceEvent};
 
@@ -91,6 +92,41 @@ impl Socket {
             CacheHierarchy::new(48 * 1024, 12, 2 * 1024 * 1024, 16, 30 * 1024 * 1024, 12),
             MemorySystem::new(DramTech::Ddr5_4800, 4, 32),
             HostTiming::default(),
+        )
+    }
+
+    // ---------------------------------------------------------------
+    // Transaction ports: LD/ST queue occupancy as admission limits
+    // ---------------------------------------------------------------
+
+    /// The core's load port: LD-queue occupancy (fill buffers) bounds
+    /// outstanding loads, issued at the core's burst cadence. In-order
+    /// windowed retirement reproduces the sliding-window burst of §V.
+    pub fn load_port(&self) -> PortSpec {
+        PortSpec::in_order(
+            "host.ldq",
+            self.timing.max_outstanding_loads,
+            self.timing.core_issue_interval,
+        )
+    }
+
+    /// The core's remote-load port: UPI/CXL occupancy credits bind well
+    /// before the local fill buffers do (the Fig. 4 remote plateau).
+    pub fn remote_load_port(&self) -> PortSpec {
+        PortSpec::in_order(
+            "host.ldq.remote",
+            self.timing.max_outstanding_remote,
+            self.timing.core_issue_interval,
+        )
+    }
+
+    /// The core's store port: store-buffer entries bound outstanding
+    /// stores.
+    pub fn store_port(&self) -> PortSpec {
+        PortSpec::in_order(
+            "host.stq",
+            self.timing.max_outstanding_stores,
+            self.timing.core_issue_interval,
         )
     }
 

@@ -650,11 +650,7 @@ impl CxlBackend {
         use host::burst::{run_burst, BurstSpec};
         let lines = bytes.div_ceil(64).max(1);
         let base = self.alloc_dev_lines(lines);
-        let spec = BurstSpec::new(
-            lines as usize,
-            self.dev.timing.lsu_issue_interval,
-            self.dev.timing.lsu_max_outstanding,
-        );
+        let spec = BurstSpec::from_port(lines as usize, &self.dev.lsu_port());
         let req = if write {
             RequestType::NC_WR
         } else {

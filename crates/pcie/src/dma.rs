@@ -6,8 +6,24 @@
 //! transfers the setup dominates — the reason fine-grained CHC over PCIe
 //! is expensive (§I). DMA writes to host memory land in the LLC via DDIO.
 
+use sim_core::port::PortSpec;
 use sim_core::time::{Duration, Time};
 use sim_core::trace::{self, TraceEvent};
+
+/// Timestamped descriptor lifecycle of one DMA transfer, as reported by
+/// [`PcieDma::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaEvents {
+    /// Descriptor built, doorbell rung, engine fetched it.
+    pub submitted: Time,
+    /// Engine started streaming (after any earlier transfer drained).
+    pub started: Time,
+    /// Last byte at the destination.
+    pub delivered: Time,
+    /// When the *producer* observes completion (equals `submitted` under
+    /// [`CompletionModel::Posted`], else `delivered` + completion cost).
+    pub observed: Time,
+}
 
 /// Completion-reporting semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,17 +114,37 @@ impl PcieDma {
 
     /// Submits a transfer; returns the producer-observed completion time.
     pub fn transfer(&mut self, now: Time, bytes: u64) -> Time {
+        self.submit(now, bytes).observed
+    }
+
+    /// Submits a transfer and returns every timestamped event in the
+    /// descriptor's life — the event-based API behind the [`PcieDma::transfer`]
+    /// facade, for discrete-event drivers that schedule each stage.
+    pub fn submit(&mut self, now: Time, bytes: u64) -> DmaEvents {
         trace::emit(now, TraceEvent::DmaDescriptor { bytes });
         let submitted = now + self.setup;
-        let start = self.busy_until.max(submitted);
-        let delivered = start + self.streaming_time(bytes);
+        let started = self.busy_until.max(submitted);
+        let delivered = started + self.streaming_time(bytes);
         self.busy_until = delivered;
         self.transfers += 1;
         self.bytes += bytes;
-        match self.model {
+        let observed = match self.model {
             CompletionModel::Posted => submitted,
             CompletionModel::Delivered => delivered + self.completion,
+        };
+        DmaEvents {
+            submitted,
+            started,
+            delivered,
+            observed,
         }
+    }
+
+    /// The engine's descriptor port: `ring_entries` descriptors in flight,
+    /// retired in submission order (the MCDMA ring is a FIFO), issued no
+    /// faster than the setup path can build them.
+    pub fn port_spec(&self, ring_entries: usize) -> PortSpec {
+        PortSpec::in_order("pcie.dma.ring", ring_entries, self.setup)
     }
 
     /// The time when the most recently submitted data is actually at the
@@ -171,6 +207,31 @@ mod tests {
         let t1 = dma.transfer(Time::ZERO, 1 << 20);
         let t2 = dma.transfer(Time::ZERO, 1 << 20);
         assert!(t2.duration_since(t1) >= dma.streaming_time(1 << 20));
+    }
+
+    #[test]
+    fn submit_events_bracket_the_facade() {
+        let mut dma = PcieDma::agilex_mcdma(CompletionModel::Delivered);
+        let ev = dma.submit(Time::ZERO, 1 << 20);
+        assert!(ev.submitted <= ev.started);
+        assert!(ev.started < ev.delivered);
+        assert_eq!(ev.observed, ev.delivered + Duration::from_nanos(150));
+        // The facade returns exactly the observed event.
+        let mut dma2 = PcieDma::agilex_mcdma(CompletionModel::Delivered);
+        assert_eq!(dma2.transfer(Time::ZERO, 1 << 20), ev.observed);
+        // Posted model: observed == submitted while data is in flight.
+        let mut posted = PcieDma::agilex_mcdma(CompletionModel::Posted);
+        let pv = posted.submit(Time::ZERO, 1 << 20);
+        assert_eq!(pv.observed, pv.submitted);
+        assert!(pv.delivered > pv.observed);
+    }
+
+    #[test]
+    fn descriptor_ring_port_reflects_setup_cadence() {
+        let dma = PcieDma::agilex_mcdma(CompletionModel::Delivered);
+        let p = dma.port_spec(128);
+        assert_eq!(p.max_outstanding, 128);
+        assert_eq!(p.issue_interval, Duration::from_nanos(350));
     }
 
     #[test]

@@ -9,8 +9,21 @@
 //!   with a heavier software path, yielding higher latency and lower
 //!   bandwidth than RDMA (per the paper, citing Wei et al. OSDI'23).
 
+use sim_core::port::PortSpec;
 use sim_core::time::{Duration, Time};
 use sim_core::trace::{self, TraceEvent};
+
+/// Timestamped lifecycle of one RDMA work request, as reported by
+/// [`RdmaEngine::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RdmaEvents {
+    /// WQE built and doorbell rung.
+    pub posted: Time,
+    /// NIC finished WQE fetch/processing and began moving data.
+    pub started: Time,
+    /// CQE observed by the host (data fully moved).
+    pub completed: Time,
+}
 
 /// An RDMA queue pair on the BF-3.
 ///
@@ -85,14 +98,32 @@ impl RdmaEngine {
     /// One-sided RDMA read/write of `bytes`; returns completion (CQE
     /// observed).
     pub fn transfer(&mut self, now: Time, bytes: u64) -> Time {
+        self.submit(now, bytes).completed
+    }
+
+    /// Posts a work request and returns each timestamped stage of its
+    /// life — the event-based API behind the [`RdmaEngine::transfer`]
+    /// facade.
+    pub fn submit(&mut self, now: Time, bytes: u64) -> RdmaEvents {
         trace::emit(now, TraceEvent::RdmaVerb { bytes });
         let posted = now + self.post;
-        let start = self.busy_until.max(posted) + self.nic_processing;
-        let done = start + self.streaming_time(bytes);
-        self.busy_until = done;
+        let started = self.busy_until.max(posted) + self.nic_processing;
+        let completed = started + self.streaming_time(bytes);
+        self.busy_until = completed;
         self.transfers += 1;
         self.bytes += bytes;
-        done
+        RdmaEvents {
+            posted,
+            started,
+            completed,
+        }
+    }
+
+    /// The queue pair's send-queue port: `sq_entries` WQEs in flight,
+    /// completed in order (one CQ), posted no faster than the doorbell
+    /// path allows.
+    pub fn port_spec(&self, sq_entries: usize) -> PortSpec {
+        PortSpec::in_order("pcie.rdma.sq", sq_entries, self.post)
     }
 
     /// Host CPU time per operation.
@@ -189,6 +220,19 @@ mod tests {
         let bwd = bandwidth_gbps(bytes, td.duration_since(Time::ZERO));
         let bwr = bandwidth_gbps(bytes, tr.duration_since(Time::ZERO));
         assert!(bwd < bwr, "DOCA bw {bwd} < RDMA bw {bwr}");
+    }
+
+    #[test]
+    fn submit_events_match_facade() {
+        let mut a = RdmaEngine::bf3();
+        let mut b = RdmaEngine::bf3();
+        let ev = a.submit(Time::ZERO, 4096);
+        assert_eq!(ev.posted, Time::ZERO + Duration::from_nanos(180));
+        assert!(ev.started > ev.posted, "NIC processing follows the post");
+        assert_eq!(b.transfer(Time::ZERO, 4096), ev.completed);
+        let p = a.port_spec(256);
+        assert_eq!(p.max_outstanding, 256);
+        assert_eq!(p.issue_interval, Duration::from_nanos(180));
     }
 
     #[test]

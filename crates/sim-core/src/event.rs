@@ -112,6 +112,21 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|s| s.at)
     }
 
+    /// Removes and returns every event scheduled at or before `until`, in
+    /// delivery order (timestamp order, FIFO at equal timestamps), leaving
+    /// simulation time at the last delivered event (or unchanged if none
+    /// qualified). Later events stay queued.
+    ///
+    /// This is the batch-stepping primitive of the port engine: a caller
+    /// advancing to time `t` collects exactly the completions that are due.
+    pub fn drain_until(&mut self, until: Time) -> Vec<(Time, E)> {
+        let mut out = Vec::new();
+        while self.peek_time().is_some_and(|t| t <= until) {
+            out.push(self.pop().expect("peeked event exists"));
+        }
+        out
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -183,6 +198,48 @@ mod tests {
         q.schedule(Time::from_nanos(2), 'b');
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(Time::from_nanos(2)));
+    }
+
+    #[test]
+    fn drain_until_returns_due_events_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_nanos(30), 'd');
+        q.schedule(Time::from_nanos(10), 'a');
+        q.schedule(Time::from_nanos(20), 'b');
+        q.schedule(Time::from_nanos(20), 'c');
+        let due = q.drain_until(Time::from_nanos(20));
+        assert_eq!(
+            due,
+            vec![
+                (Time::from_nanos(10), 'a'),
+                (Time::from_nanos(20), 'b'),
+                (Time::from_nanos(20), 'c'),
+            ]
+        );
+        assert_eq!(q.now(), Time::from_nanos(20));
+        assert_eq!(q.len(), 1, "later event stays queued");
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(30)));
+    }
+
+    #[test]
+    fn drain_until_is_fifo_at_equal_timestamps() {
+        let mut q = EventQueue::new();
+        let t = Time::from_nanos(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let due: Vec<i32> = q.drain_until(t).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(due, (0..10).collect::<Vec<_>>(), "tiebreak is FIFO");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_until_before_first_event_is_empty() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_nanos(50), ());
+        assert!(q.drain_until(Time::from_nanos(49)).is_empty());
+        assert_eq!(q.now(), Time::ZERO, "time unchanged when nothing is due");
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod port;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -32,6 +33,7 @@ pub mod trace;
 /// Convenient glob-import of the most common simulation types.
 pub mod prelude {
     pub use crate::event::EventQueue;
+    pub use crate::port::{Admission, Completion, PortEngine, PortId, PortSpec, TxnId};
     pub use crate::rng::SimRng;
     pub use crate::stats::{bandwidth_gbps, Histogram, Samples, Summary};
     pub use crate::time::{ClockDomain, Cycles, Duration, Time, DEVICE_CLOCK, HOST_CLOCK};

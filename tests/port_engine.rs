@@ -1,0 +1,166 @@
+//! Integration tests for the port-based transaction engine: contention is
+//! *measured* out of the shared timing models, not computed by dividing
+//! bandwidth analytically.
+
+use cxl_proto::request::RequestType;
+use cxl_type2::addr::device_line;
+use cxl_type2::device::CxlDevice;
+use cxl_type2::lsu::{BurstTarget, Lsu};
+use host::socket::Socket;
+use mem_subsys::dram::{DramTech, MemorySystem};
+use mem_subsys::line::LineAddr;
+use sim_core::port::{PortEngine, PortSpec};
+use sim_core::stats::bandwidth_gbps;
+use sim_core::time::{Duration, Time};
+
+/// N >= 8 concurrent reads pinned to one DRAM channel complete strictly
+/// later than the same N striped across channels: the engine observes the
+/// channel's bus busy intervals instead of assuming ideal interleave.
+#[test]
+fn same_channel_transactions_complete_later_than_independent() {
+    const N: usize = 16;
+    let run = |addrs: Vec<LineAddr>| -> Time {
+        let mut mem = MemorySystem::new(DramTech::Ddr4_2400, 2, 32);
+        let mut engine: PortEngine<LineAddr> = PortEngine::new();
+        let port = engine.add_port(PortSpec::out_of_order("test.mlp", 32, Duration::ZERO));
+        for a in addrs {
+            engine.submit(port, Time::ZERO, a);
+        }
+        let done = engine.run(|_, &a, t| mem.read(a, t));
+        done.iter().map(|c| c.completed).max().expect("non-empty")
+    };
+    // Stride 2 pins every line to channel 0; stride 1 alternates channels.
+    let same_channel = run((0..N as u64).map(|i| LineAddr::new(i * 2)).collect());
+    let independent = run((0..N as u64).map(LineAddr::new).collect());
+    assert!(
+        same_channel > independent,
+        "channel contention must delay completion: same-channel {same_channel} \
+         vs interleaved {independent}"
+    );
+    // The gap is the serialized bus: N transfers on one bus vs N/2 on each.
+    let per = DramTech::Ddr4_2400.line_transfer_time();
+    assert_eq!(
+        same_channel.duration_since(independent),
+        per * (N as u64 / 2)
+    );
+}
+
+/// A large out-of-order burst against one DDR4-2400 channel sustains the
+/// channel's measured drain rate — near its 19.2 GB/s peak, not a value
+/// divided down analytically.
+#[test]
+fn measured_bandwidth_saturates_single_channel_peak() {
+    const N: u64 = 2048;
+    let mut mem = MemorySystem::new(DramTech::Ddr4_2400, 2, 32);
+    let mut engine: PortEngine<LineAddr> = PortEngine::new();
+    let port = engine.add_port(PortSpec::out_of_order("test.bw", 64, Duration::ZERO));
+    for i in 0..N {
+        engine.submit(port, Time::ZERO, LineAddr::new(i * 2)); // channel 0
+    }
+    let done = engine.run(|_, &a, t| mem.read(a, t));
+    let last = done.iter().map(|c| c.completed).max().expect("non-empty");
+    let bw = bandwidth_gbps(N * 64, last.duration_since(Time::ZERO));
+    let peak = DramTech::Ddr4_2400.channel_bandwidth_gbps();
+    assert!(
+        bw > 0.95 * peak && bw <= peak + 1e-9,
+        "single-channel bandwidth {bw} should saturate near {peak}"
+    );
+    // Striping over both channels roughly doubles it — measured, not split.
+    let mut mem = MemorySystem::new(DramTech::Ddr4_2400, 2, 32);
+    let mut engine: PortEngine<LineAddr> = PortEngine::new();
+    let port = engine.add_port(PortSpec::out_of_order("test.bw2", 64, Duration::ZERO));
+    for i in 0..N {
+        engine.submit(port, Time::ZERO, LineAddr::new(i));
+    }
+    let done = engine.run(|_, &a, t| mem.read(a, t));
+    let last = done.iter().map(|c| c.completed).max().expect("non-empty");
+    let bw2 = bandwidth_gbps(N * 64, last.duration_since(Time::ZERO));
+    assert!(
+        bw2 > 1.8 * bw,
+        "two-channel bandwidth {bw2} should near-double one channel's {bw}"
+    );
+}
+
+/// The same contention effect end-to-end through the device: D2D
+/// concurrent transactions pinned to one device-DRAM channel finish later
+/// than transactions spread over both.
+#[test]
+fn d2d_concurrent_burst_observes_channel_contention() {
+    const N: usize = 16;
+    let run = |addrs: Vec<LineAddr>| -> Time {
+        let mut host = Socket::xeon_6538y();
+        let mut dev = CxlDevice::agilex7();
+        let r = Lsu::new().concurrent_burst(
+            &mut dev,
+            &mut host,
+            RequestType::CS_RD,
+            BurstTarget::DeviceMemory,
+            &addrs,
+            Time::ZERO,
+            32,
+        );
+        assert_eq!(r.latencies.len(), N);
+        r.last_completion
+    };
+    let same_channel = run((0..N as u64).map(|i| device_line(i * 2)).collect());
+    let spread = run((0..N as u64).map(device_line).collect());
+    assert!(
+        same_channel > spread,
+        "device-channel contention must delay the burst: {same_channel} vs {spread}"
+    );
+}
+
+/// Fig. 4-style D2D read bandwidth through the full device stack: with
+/// deep MLP and all lines on one device channel, the measured rate
+/// approaches the DDR4-2400 channel peak (drain-bound); spread over both
+/// channels it rises above a single channel's peak.
+#[test]
+fn d2d_concurrent_bandwidth_saturates_device_channel() {
+    const N: usize = 1024;
+    let run = |addrs: Vec<LineAddr>| -> f64 {
+        let mut host = Socket::xeon_6538y();
+        let mut dev = CxlDevice::agilex7();
+        let r = Lsu::new().concurrent_burst(
+            &mut dev,
+            &mut host,
+            RequestType::CS_RD,
+            BurstTarget::DeviceMemory,
+            &addrs,
+            Time::ZERO,
+            64,
+        );
+        r.bandwidth_gbps(64)
+    };
+    let peak = DramTech::Ddr4_2400.channel_bandwidth_gbps();
+    let one_channel = run((0..N as u64).map(|i| device_line(i * 2)).collect());
+    assert!(
+        one_channel > 0.8 * peak && one_channel <= peak + 1e-9,
+        "drain-bound D2D bandwidth {one_channel} should sit near the \
+         DDR4-2400 channel peak {peak}"
+    );
+    let both_channels = run((0..N as u64).map(device_line).collect());
+    assert!(
+        both_channels > one_channel,
+        "striping over both device channels must raise measured bandwidth \
+         ({both_channels} vs {one_channel})"
+    );
+}
+
+/// Same-seed engine runs produce identical schedules: completions, issue
+/// times, and ordering are all byte-stable.
+#[test]
+fn engine_schedules_are_deterministic() {
+    let run = || {
+        let mut mem = MemorySystem::new(DramTech::Ddr4_2400, 2, 32);
+        let mut engine: PortEngine<u64> = PortEngine::new();
+        let p0 = engine.add_port(PortSpec::out_of_order("det.a", 8, Duration::ZERO));
+        let p1 = engine.add_port(PortSpec::in_order("det.b", 4, Duration::from_nanos(1)));
+        for i in 0..64u64 {
+            engine.submit(if i % 3 == 0 { p1 } else { p0 }, Time::ZERO, i);
+        }
+        engine.run(|_, &i, t| mem.read(LineAddr::new(i * 7), t))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical submissions must yield identical schedules");
+}
