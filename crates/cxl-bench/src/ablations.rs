@@ -6,6 +6,7 @@ use cxl_type2::addr::{device_line, host_line};
 use cxl_type2::device::CxlDevice;
 use cxl_type2::lsu::{BurstTarget, Lsu};
 use host::socket::Socket;
+use sim_core::sweep;
 use sim_core::time::{Duration, Time};
 
 /// Write-queue absorption (§V-A): a small write burst is absorbed by the
@@ -16,8 +17,9 @@ use sim_core::time::{Duration, Time};
 /// issue rate), so the sweep uses single-channel D2D NC-writes in
 /// device-bias mode and reports the mean per-write acceptance latency.
 pub fn writequeue_sweep() -> Vec<(usize, f64)> {
-    let mut out = Vec::new();
-    for n in [16usize, 64, 256, 512, 1024, 4096] {
+    const SIZES: [usize; 6] = [16, 64, 256, 512, 1024, 4096];
+    sweep::run(SIZES.len(), |i| {
+        let n = SIZES[i];
         let mut host = Socket::xeon_6538y();
         let mut dev = CxlDevice::agilex7();
         // Stride 2 keeps every line on device channel 0.
@@ -33,17 +35,17 @@ pub fn writequeue_sweep() -> Vec<(usize, f64)> {
             &addrs,
             t,
         );
-        out.push((n, r.mean_latency().as_nanos_f64()));
-    }
-    out
+        (n, r.mean_latency().as_nanos_f64())
+    })
 }
 
 /// NC-P prefetch depth: mean H2D `ld` latency over 64 lines when the
 /// first `pushed` of them were NC-P'd into host LLC in advance.
 pub fn ncp_prefetch_sweep() -> Vec<(usize, f64)> {
     let total = 64usize;
-    let mut out = Vec::new();
-    for pushed in [0usize, 16, 32, 48, 64] {
+    const DEPTHS: [usize; 5] = [0, 16, 32, 48, 64];
+    sweep::run(DEPTHS.len(), |i| {
+        let pushed = DEPTHS[i];
         let mut host = Socket::xeon_6538y();
         let mut dev = CxlDevice::agilex7();
         let addrs: Vec<_> = (0..total).map(|i| device_line(1000 + i as u64)).collect();
@@ -57,17 +59,17 @@ pub fn ncp_prefetch_sweep() -> Vec<(usize, f64)> {
             sum += acc.completion.duration_since(t);
             t = acc.completion;
         }
-        out.push((pushed, sum.as_nanos_f64() / total as f64));
-    }
-    out
+        (pushed, sum.as_nanos_f64() / total as f64)
+    })
 }
 
 /// Bias-switch preparation cost: entering device-bias mode requires
 /// flushing the region's host-cache lines; the cost scales with region
 /// size (§IV-B's dynamic switching).
 pub fn bias_switch_sweep() -> Vec<(u64, f64)> {
-    let mut out = Vec::new();
-    for lines in [16u64, 64, 256, 1024] {
+    const REGIONS: [u64; 4] = [16, 64, 256, 1024];
+    sweep::run(REGIONS.len(), |i| {
+        let lines = REGIONS[i];
         let mut host = Socket::xeon_6538y();
         let mut dev = CxlDevice::agilex7();
         let base = device_line(1 << 16);
@@ -78,9 +80,8 @@ pub fn bias_switch_sweep() -> Vec<(u64, f64)> {
         }
         let start = t;
         let done = dev.enter_device_bias(base, lines, start, &mut host);
-        out.push((lines, done.duration_since(start).as_micros_f64()));
-    }
-    out
+        (lines, done.duration_since(start).as_micros_f64())
+    })
 }
 
 /// Pipelining ablation: the cxl-zswap ②④⑤ stage times for a 4 KiB page,
@@ -101,8 +102,9 @@ pub fn pipeline_ablation() -> (f64, f64) {
 /// outstanding requests the FPGA LSU sustains (the §V-A observation that
 /// more/faster LSUs approach the interconnect limit).
 pub fn lsu_window_sweep() -> Vec<(usize, f64)> {
-    let mut out = Vec::new();
-    for window in [1usize, 4, 8, 16, 32, 64] {
+    const WINDOWS: [usize; 6] = [1, 4, 8, 16, 32, 64];
+    sweep::run(WINDOWS.len(), |i| {
+        let window = WINDOWS[i];
         let mut host = Socket::xeon_6538y();
         let mut dev = CxlDevice::agilex7();
         dev.timing.lsu_max_outstanding = window;
@@ -115,16 +117,16 @@ pub fn lsu_window_sweep() -> Vec<(usize, f64)> {
             &addrs,
             Time::ZERO,
         );
-        out.push((window, r.bandwidth_gbps(64)));
-    }
-    out
+        (window, r.bandwidth_gbps(64))
+    })
 }
 
 /// HMC capacity sweep: D2H CS-read hit latency benefit as the working set
 /// grows past the 128 KiB HMC (the split-device-cache sizing choice).
 pub fn hmc_capacity_sweep() -> Vec<(u64, f64)> {
-    let mut out = Vec::new();
-    for working_set_kib in [64u64, 128, 256, 512] {
+    const SETS_KIB: [u64; 4] = [64, 128, 256, 512];
+    sweep::run(SETS_KIB.len(), |i| {
+        let working_set_kib = SETS_KIB[i];
         let lines = working_set_kib * 1024 / 64;
         let mut host = Socket::xeon_6538y();
         let mut dev = CxlDevice::agilex7();
@@ -141,9 +143,8 @@ pub fn hmc_capacity_sweep() -> Vec<(u64, f64)> {
             sum += acc.completion.duration_since(t);
             t = acc.completion;
         }
-        out.push((working_set_kib, sum.as_nanos_f64() / lines as f64));
-    }
-    out
+        (working_set_kib, sum.as_nanos_f64() / lines as f64)
+    })
 }
 
 /// Prints all ablations.
@@ -191,32 +192,41 @@ pub fn print_ablations() {
 pub fn load_sweep() -> Vec<(f64, f64, f64)> {
     use kvs::fig8::{run_zswap, BackendKind, Fig8Config};
     use kvs::ycsb::YcsbWorkload;
-    let mut out = Vec::new();
-    for inter_us in [120u64, 60, 30] {
+    const LOADS_US: [u64; 3] = [120, 60, 30];
+    const KINDS: [BackendKind; 3] = [BackendKind::None, BackendKind::Cpu, BackendKind::Cxl];
+    // Fan all nine (load, backend) runs across the pool; each cell seeds
+    // itself from the config, so the grid is deterministic.
+    let grid = sweep::run(LOADS_US.len() * KINDS.len(), |i| {
+        let inter_us = LOADS_US[i / KINDS.len()];
+        let kind = KINDS[i % KINDS.len()];
         let mut cfg = Fig8Config::smoke();
         cfg.duration = Duration::from_nanos(60_000_000);
         cfg.mean_interarrival = Duration::from_nanos(inter_us * 1_000);
-        let base = run_zswap(&cfg, YcsbWorkload::B, BackendKind::None);
-        let cpu = run_zswap(&cfg, YcsbWorkload::B, BackendKind::Cpu);
-        let cxl = run_zswap(&cfg, YcsbWorkload::B, BackendKind::Cxl);
-        let b = base.p99.as_nanos_f64();
-        out.push((
-            1e6 / inter_us as f64,
-            cpu.p99.as_nanos_f64() / b,
-            cxl.p99.as_nanos_f64() / b,
-        ));
-    }
-    out
+        run_zswap(&cfg, YcsbWorkload::B, kind).p99.as_nanos_f64()
+    });
+    LOADS_US
+        .iter()
+        .enumerate()
+        .map(|(row, &inter_us)| {
+            let base = grid[row * KINDS.len()];
+            (
+                1e6 / inter_us as f64,
+                grid[row * KINDS.len() + 1] / base,
+                grid[row * KINDS.len() + 2] / base,
+            )
+        })
+        .collect()
 }
 
 /// DCOH slice-count sweep: D2H CS-read hit latency over a working set
 /// that overflows one slice's 128 KiB HMC but fits the aggregate of more
 /// slices (the "one or more instances" scaling of Fig. 1).
 pub fn dcoh_slice_sweep() -> Vec<(usize, f64)> {
-    let mut out = Vec::new();
     // 256 KiB working set: spills 1 slice, fits 2+.
     let lines = 256 * 1024 / 64;
-    for slices in [1usize, 2, 4] {
+    const SLICES: [usize; 3] = [1, 2, 4];
+    sweep::run(SLICES.len(), |i| {
+        let slices = SLICES[i];
         let mut host = Socket::xeon_6538y();
         let mut dev = CxlDevice::agilex7_with_slices(slices);
         let addrs: Vec<_> = (0..lines).map(|i| host_line(1 << 24 | i)).collect();
@@ -230,9 +240,8 @@ pub fn dcoh_slice_sweep() -> Vec<(usize, f64)> {
             sum += acc.completion.duration_since(t);
             t = acc.completion;
         }
-        out.push((slices, sum.as_nanos_f64() / lines as f64));
-    }
-    out
+        (slices, sum.as_nanos_f64() / lines as f64)
+    })
 }
 
 /// Multi-LSU scaling (§V-A): the paper projects that more/faster LSUs
@@ -240,8 +249,9 @@ pub fn dcoh_slice_sweep() -> Vec<(usize, f64)> {
 /// LSUs issuing interleaved CS-reads (aggregate issue interval divided by
 /// `n`, shared CXL link and host memory system).
 pub fn multi_lsu_sweep() -> Vec<(usize, f64)> {
-    let mut out = Vec::new();
-    for n_lsu in [1usize, 2, 4, 8] {
+    const LSUS: [usize; 4] = [1, 2, 4, 8];
+    sweep::run(LSUS.len(), |i| {
+        let n_lsu = LSUS[i];
         let mut host = Socket::xeon_6538y();
         let mut dev = CxlDevice::agilex7();
         // n LSUs at 400 MHz behave like one issuing n× faster with an
@@ -257,9 +267,8 @@ pub fn multi_lsu_sweep() -> Vec<(usize, f64)> {
             &addrs,
             Time::ZERO,
         );
-        out.push((n_lsu, r.bandwidth_gbps(64)));
-    }
-    out
+        (n_lsu, r.bandwidth_gbps(64))
+    })
 }
 
 #[cfg(test)]

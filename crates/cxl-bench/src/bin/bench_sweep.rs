@@ -1,0 +1,217 @@
+//! Wall-clock benchmark harness for the sweep runner and event-queue
+//! hot path. Emits a machine-readable [`BenchReport`]
+//! (`BENCH_sweep.json` is the committed baseline) and, with `--check`,
+//! fails when a tracked time scenario regresses beyond tolerance.
+//!
+//! Usage:
+//!   bench_sweep [--out PATH] [--check BASELINE] [--tolerance FRAC]
+//!
+//! Scenario figures are wall nanoseconds (min over a few runs — the
+//! least-noise estimator on a shared CI box). `*_speedup_4t` entries are
+//! unitless serial/parallel ratios, recorded for visibility and never
+//! regression-checked.
+
+use std::time::Instant;
+
+use criterion::report::BenchReport;
+use cxl_bench::fig4::run_fig4_with_threads;
+use kvs::fig8::{run_zswap_seeds_with_threads, BackendKind, Fig8Config};
+use kvs::ycsb::YcsbWorkload;
+use sim_core::event::EventQueue;
+use sim_core::time::{Duration, Time};
+
+const FIG4_REPS: usize = 40;
+const FIG4_SEED: u64 = 11;
+const FIG8_SEEDS: usize = 8;
+
+/// Min wall time of `runs` calls of `f`, in nanoseconds.
+fn time_min(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Schedule/pop churn through the calendar queue in the port engine's
+/// steady-state shape: a bounded set of outstanding transactions (one
+/// replacement scheduled per completion popped) with completion times
+/// 1–500 ns out, plus a sprinkle of far-future overflow events.
+fn event_queue_churn() -> u64 {
+    const OUTSTANDING: u64 = 512;
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut acc = 0u64;
+    let mut state = 0x9e37_79b9u64;
+    let step = |state: &mut u64| {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state
+    };
+    for i in 0..OUTSTANDING {
+        let at = sim_core::time::Duration::from_picos(1 + step(&mut state) % 500_000);
+        q.schedule(Time::ZERO + at, i);
+    }
+    for i in 0..200_000u64 {
+        let (t, e) = q.pop().expect("queue stays primed");
+        acc = acc.wrapping_add(t.as_picos()).wrapping_add(e);
+        let delta = 1 + step(&mut state) % 500_000;
+        q.schedule(t + sim_core::time::Duration::from_picos(delta), i);
+        if i % 128 == 0 {
+            let far = 4_000_000 + step(&mut state) % 4_000_000;
+            q.schedule(t + sim_core::time::Duration::from_picos(far), i);
+        }
+    }
+    while let Some((t, e)) = q.pop() {
+        acc = acc.wrapping_add(t.as_picos()).wrapping_add(e);
+    }
+    acc
+}
+
+/// Batched drains into a caller-owned reusable buffer (the zero-alloc
+/// consumer loop).
+fn drain_until_into_reuse() -> usize {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let mut buf: Vec<(Time, u32)> = Vec::new();
+    let mut total = 0usize;
+    for round in 0..200u64 {
+        for i in 0..256u32 {
+            let at = q.now() + sim_core::time::Duration::from_picos(u64::from(i) * 17 + 1);
+            q.schedule(at, i);
+        }
+        q.drain_until_into(Time::from_picos((round + 1) * 6_000), &mut buf);
+        total += buf.len();
+    }
+    while q.pop().is_some() {
+        total += 1;
+    }
+    total
+}
+
+fn fig8_cfg() -> Fig8Config {
+    let mut cfg = Fig8Config::smoke();
+    cfg.duration = Duration::from_millis(60);
+    cfg
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next(),
+            "--check" => check_path = args.next(),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance FRAC");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_sweep [--out PATH] [--check BASELINE] [--tolerance FRAC]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = BenchReport::new();
+
+    println!("== event-queue hot path ==");
+    let churn = time_min(9, || {
+        std::hint::black_box(event_queue_churn());
+    });
+    report.record("event_queue_churn", churn);
+    println!("  event_queue_churn        {:>12.0} ns", churn);
+
+    let drain = time_min(9, || {
+        std::hint::black_box(drain_until_into_reuse());
+    });
+    report.record("drain_until_into_reuse", drain);
+    println!("  drain_until_into_reuse   {:>12.0} ns", drain);
+
+    println!("== fig4 sweep (8 points, reps = {FIG4_REPS}) ==");
+    let fig4_serial = time_min(5, || {
+        std::hint::black_box(run_fig4_with_threads(1, FIG4_REPS, FIG4_SEED));
+    });
+    report.record("fig4_sweep_serial", fig4_serial);
+    println!("  serial                   {:>12.0} ns", fig4_serial);
+    let fig4_4t = time_min(5, || {
+        std::hint::black_box(run_fig4_with_threads(4, FIG4_REPS, FIG4_SEED));
+    });
+    report.record("fig4_sweep_4t", fig4_4t);
+    let fig4_speedup = fig4_serial / fig4_4t;
+    report.record("fig4_sweep_speedup_4t", fig4_speedup);
+    println!(
+        "  4 threads                {:>12.0} ns   ({fig4_speedup:.2}x)",
+        fig4_4t
+    );
+
+    println!("== fig8 seed fan-out ({FIG8_SEEDS} seeds, cxl-zswap, YCSB-B) ==");
+    let cfg = fig8_cfg();
+    let fig8_serial = time_min(2, || {
+        std::hint::black_box(run_zswap_seeds_with_threads(
+            1,
+            &cfg,
+            YcsbWorkload::B,
+            BackendKind::Cxl,
+            FIG8_SEEDS,
+        ));
+    });
+    report.record("fig8_seed_fanout_serial", fig8_serial);
+    println!("  serial                   {:>12.0} ns", fig8_serial);
+    let fig8_4t = time_min(2, || {
+        std::hint::black_box(run_zswap_seeds_with_threads(
+            4,
+            &cfg,
+            YcsbWorkload::B,
+            BackendKind::Cxl,
+            FIG8_SEEDS,
+        ));
+    });
+    report.record("fig8_seed_fanout_4t", fig8_4t);
+    let fig8_speedup = fig8_serial / fig8_4t;
+    report.record("fig8_seed_fanout_speedup_4t", fig8_speedup);
+    println!(
+        "  4 threads                {:>12.0} ns   ({fig8_speedup:.2}x)",
+        fig8_4t
+    );
+
+    if let Some(path) = &out_path {
+        std::fs::write(path, report.to_json()).expect("write report");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let baseline_json = std::fs::read_to_string(path).expect("read baseline");
+        let baseline = BenchReport::from_json(&baseline_json).expect("parse baseline");
+        let regs = report.regressions(&baseline, tolerance);
+        if regs.is_empty() {
+            println!(
+                "baseline check: ok ({} tracked scenarios within {:.0}%)",
+                baseline
+                    .scenarios
+                    .iter()
+                    .filter(|s| !s.name.contains("speedup"))
+                    .count(),
+                tolerance * 100.0
+            );
+        } else {
+            for r in &regs {
+                eprintln!(
+                    "REGRESSION {}: {:.0} ns -> {:.0} ns ({:.2}x, tolerance {:.0}%)",
+                    r.name,
+                    r.baseline_ns,
+                    r.current_ns,
+                    r.ratio,
+                    tolerance * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -14,6 +14,7 @@ use host::numa::NumaSystem;
 use host::socket::Socket;
 use sim_core::rng::SimRng;
 use sim_core::stats::{bandwidth_gbps, Samples};
+use sim_core::sweep;
 use sim_core::time::Time;
 
 /// One bar-pair of Fig. 3.
@@ -72,99 +73,120 @@ fn stage_llc(host: &mut Socket, addrs: &[mem_subsys::line::LineAddr], t: Time) -
     t
 }
 
-/// Runs the full Fig. 3 sweep.
+/// Runs the full Fig. 3 sweep, parallelized across points (see
+/// [`run_fig3_with_threads`]).
 pub fn run_fig3(reps: usize, seed: u64) -> Vec<Fig3Row> {
-    let mut rows = Vec::new();
-    let mut rng = SimRng::seed_from(seed);
-    for (req, emulated_op) in fig3_requests() {
-        for llc_hit in [true, false] {
-            // --- true CXL D2H ---
-            let mut host = Socket::xeon_6538y();
-            let mut dev = CxlDevice::agilex7();
-            let lsu = Lsu::new();
-            let mut lat = Samples::new();
-            let mut bw = Samples::new();
-            let mut t = Time::ZERO;
-            let mut next_addr: u64 = 1 << 20;
-            for _ in 0..reps {
-                // Fresh random-offset region per repetition.
-                let addrs: Vec<_> = (0..BURST)
-                    .map(|_| {
-                        next_addr += 64 + rng.gen_range(64);
-                        host_line(next_addr)
-                    })
-                    .collect();
-                if llc_hit {
-                    t = stage_llc(&mut host, &addrs, t);
-                }
-                dev.flush_device_caches(t, &mut host);
-                // Latency: one isolated access.
-                let single = lsu.single(
-                    &mut dev,
-                    &mut host,
-                    req,
-                    BurstTarget::HostMemory,
-                    addrs[0],
-                    t,
-                );
-                lat.record(single.duration_since(t).as_nanos_f64());
-                t = single;
-                // Re-stage the first line for the burst if needed.
-                if llc_hit {
-                    t = stage_llc(&mut host, &addrs[..1], t);
-                    dev.flush_device_caches(t, &mut host);
-                }
-                // Bandwidth: 16-access pipelined burst.
-                let burst = lsu.burst(&mut dev, &mut host, req, BurstTarget::HostMemory, &addrs, t);
-                bw.record(burst.bandwidth_gbps(64));
-                t = burst.last_completion;
-            }
-            // --- emulated over UPI ---
-            let mut numa = NumaSystem::xeon_dual_socket();
-            let mut elat = Samples::new();
-            let mut ebw = Samples::new();
-            let mut t = Time::ZERO;
-            let mut next_addr: u64 = 1 << 21;
-            for _ in 0..reps {
-                let addrs: Vec<_> = (0..BURST)
-                    .map(|_| {
-                        next_addr += 64 + rng.gen_range(64);
-                        host_line(next_addr)
-                    })
-                    .collect();
-                if llc_hit {
-                    t = stage_llc(&mut numa.home, &addrs, t);
-                }
-                let single = emulated_access(&mut numa, req, addrs[0], t);
-                elat.record(single.duration_since(t).as_nanos_f64());
-                t = single;
-                let port = if req.is_read() {
-                    // UPI occupancy credits bind remote reads.
-                    numa.home.remote_load_port()
-                } else {
-                    numa.home.store_port()
-                };
-                let spec = host::burst::BurstSpec::from_port(BURST, &port);
-                let burst = host::burst::run_burst(spec, t, |i, at| {
-                    emulated_access(&mut numa, req, addrs[i], at)
-                });
-                ebw.record(bandwidth_gbps(BURST as u64 * 64, burst.elapsed()));
-                t = burst.last_completion;
-            }
-            rows.push(Fig3Row {
-                request: req.to_string(),
-                emulated_op,
-                llc_hit,
-                cxl_latency_ns: lat.median(),
-                cxl_latency_std: lat.std_dev(),
-                emu_latency_ns: elat.median(),
-                emu_latency_std: elat.std_dev(),
-                cxl_bw_gbps: bw.median(),
-                emu_bw_gbps: ebw.median(),
-            });
+    run_fig3_with_threads(sweep::max_threads(), reps, seed)
+}
+
+/// Runs the full Fig. 3 sweep on an explicit worker-pool size. Each of
+/// the eight (request, LLC-state) points is an independent simulation
+/// with its own RNG stream derived from `seed` and the point index, so
+/// output is identical at every thread count.
+pub fn run_fig3_with_threads(threads: usize, reps: usize, seed: u64) -> Vec<Fig3Row> {
+    let points: Vec<((RequestType, &'static str), bool)> = fig3_requests()
+        .into_iter()
+        .flat_map(|rq| [true, false].map(|llc_hit| (rq, llc_hit)))
+        .collect();
+    sweep::run_with_threads(threads, points.len(), |i| {
+        let ((req, emulated_op), llc_hit) = points[i];
+        let mut rng = SimRng::seed_from(sweep::point_seed(seed, i));
+        fig3_point(req, emulated_op, llc_hit, reps, &mut rng)
+    })
+}
+
+/// Measures one (request, LLC-state) bar-pair of Fig. 3.
+fn fig3_point(
+    req: RequestType,
+    emulated_op: &'static str,
+    llc_hit: bool,
+    reps: usize,
+    rng: &mut SimRng,
+) -> Fig3Row {
+    // --- true CXL D2H ---
+    let mut host = Socket::xeon_6538y();
+    let mut dev = CxlDevice::agilex7();
+    let lsu = Lsu::new();
+    let mut lat = Samples::new();
+    let mut bw = Samples::new();
+    let mut t = Time::ZERO;
+    let mut next_addr: u64 = 1 << 20;
+    for _ in 0..reps {
+        // Fresh random-offset region per repetition.
+        let addrs: Vec<_> = (0..BURST)
+            .map(|_| {
+                next_addr += 64 + rng.gen_range(64);
+                host_line(next_addr)
+            })
+            .collect();
+        if llc_hit {
+            t = stage_llc(&mut host, &addrs, t);
         }
+        dev.flush_device_caches(t, &mut host);
+        // Latency: one isolated access.
+        let single = lsu.single(
+            &mut dev,
+            &mut host,
+            req,
+            BurstTarget::HostMemory,
+            addrs[0],
+            t,
+        );
+        lat.record(single.duration_since(t).as_nanos_f64());
+        t = single;
+        // Re-stage the first line for the burst if needed.
+        if llc_hit {
+            t = stage_llc(&mut host, &addrs[..1], t);
+            dev.flush_device_caches(t, &mut host);
+        }
+        // Bandwidth: 16-access pipelined burst.
+        let burst = lsu.burst(&mut dev, &mut host, req, BurstTarget::HostMemory, &addrs, t);
+        bw.record(burst.bandwidth_gbps(64));
+        t = burst.last_completion;
     }
-    rows
+    // --- emulated over UPI ---
+    let mut numa = NumaSystem::xeon_dual_socket();
+    let mut elat = Samples::new();
+    let mut ebw = Samples::new();
+    let mut t = Time::ZERO;
+    let mut next_addr: u64 = 1 << 21;
+    for _ in 0..reps {
+        let addrs: Vec<_> = (0..BURST)
+            .map(|_| {
+                next_addr += 64 + rng.gen_range(64);
+                host_line(next_addr)
+            })
+            .collect();
+        if llc_hit {
+            t = stage_llc(&mut numa.home, &addrs, t);
+        }
+        let single = emulated_access(&mut numa, req, addrs[0], t);
+        elat.record(single.duration_since(t).as_nanos_f64());
+        t = single;
+        let port = if req.is_read() {
+            // UPI occupancy credits bind remote reads.
+            numa.home.remote_load_port()
+        } else {
+            numa.home.store_port()
+        };
+        let spec = host::burst::BurstSpec::from_port(BURST, &port);
+        let burst = host::burst::run_burst(spec, t, |i, at| {
+            emulated_access(&mut numa, req, addrs[i], at)
+        });
+        ebw.record(bandwidth_gbps(BURST as u64 * 64, burst.elapsed()));
+        t = burst.last_completion;
+    }
+    Fig3Row {
+        request: req.to_string(),
+        emulated_op,
+        llc_hit,
+        cxl_latency_ns: lat.median(),
+        cxl_latency_std: lat.std_dev(),
+        emu_latency_ns: elat.median(),
+        emu_latency_std: elat.std_dev(),
+        cxl_bw_gbps: bw.median(),
+        emu_bw_gbps: ebw.median(),
+    }
 }
 
 fn emulated_access(
@@ -256,5 +278,18 @@ mod tests {
         let b = run_fig3(10, 3);
         assert_eq!(a[0].cxl_latency_ns, b[0].cxl_latency_ns);
         assert_eq!(a[3].emu_bw_gbps, b[3].emu_bw_gbps);
+    }
+
+    #[test]
+    fn fig3_thread_count_does_not_change_results() {
+        let serial = run_fig3_with_threads(1, 6, 5);
+        let parallel = run_fig3_with_threads(4, 6, 5);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.cxl_latency_ns, p.cxl_latency_ns);
+            assert_eq!(s.emu_latency_ns, p.emu_latency_ns);
+            assert_eq!(s.cxl_bw_gbps, p.cxl_bw_gbps);
+            assert_eq!(s.emu_bw_gbps, p.emu_bw_gbps);
+        }
     }
 }

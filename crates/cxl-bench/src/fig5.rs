@@ -8,6 +8,7 @@ use host::socket::Socket;
 use mem_subsys::coherence::MesiState;
 use sim_core::rng::SimRng;
 use sim_core::stats::Samples;
+use sim_core::sweep;
 use sim_core::time::Time;
 
 /// The H2D configurations Fig. 5 compares.
@@ -126,52 +127,67 @@ fn access(
     dev.h2d(op, a, t, host).completion
 }
 
-/// Runs the full Fig. 5 sweep.
+/// Runs the full Fig. 5 sweep, parallelized across points (see
+/// [`run_fig5_with_threads`]).
 pub fn run_fig5(reps: usize, seed: u64) -> Vec<Fig5Row> {
-    let mut rng = SimRng::seed_from(seed);
-    let mut rows = Vec::new();
-    for op in H2dOp::ALL {
-        for case in H2dCase::ALL {
-            let mut lat = Samples::new();
-            let mut bw = Samples::new();
-            let mut host = Socket::xeon_6538y();
-            let mut dev = build_device(case);
-            let mut t = Time::ZERO;
-            let mut next: u64 = 1 << 12;
-            for _ in 0..reps {
-                let addrs: Vec<_> = (0..BURST)
-                    .map(|_| {
-                        next += 1 + rng.gen_range(4);
-                        device_line(next)
-                    })
-                    .collect();
-                t = stage(case, &mut dev, &mut host, &addrs, t);
-                let single = access(op, &mut dev, &mut host, addrs[0], t);
-                lat.record(single.duration_since(t).as_nanos_f64());
-                t = single;
-                // Restage the first line's state consumed by the access.
-                t = stage(case, &mut dev, &mut host, &addrs[..1], t);
-                let port = match op {
-                    H2dOp::Load | H2dOp::NtLoad => host.load_port(),
-                    _ => host.store_port(),
-                };
-                let spec = host::burst::BurstSpec::from_port(BURST, &port);
-                let burst = host::burst::run_burst(spec, t, |i, at| {
-                    access(op, &mut dev, &mut host, addrs[i], at)
-                });
-                bw.record(burst.bandwidth_gbps(64));
-                t = burst.last_completion;
-            }
-            rows.push(Fig5Row {
-                op,
-                case,
-                latency_ns: lat.median(),
-                latency_std: lat.std_dev(),
-                bw_gbps: bw.median(),
-            });
-        }
+    run_fig5_with_threads(sweep::max_threads(), reps, seed)
+}
+
+/// Runs the full Fig. 5 sweep on an explicit worker-pool size. Each of
+/// the 24 (op, case) points is an independent simulation with its own
+/// RNG stream derived from `seed` and the point index, so output is
+/// identical at every thread count.
+pub fn run_fig5_with_threads(threads: usize, reps: usize, seed: u64) -> Vec<Fig5Row> {
+    let points: Vec<(H2dOp, H2dCase)> = H2dOp::ALL
+        .into_iter()
+        .flat_map(|op| H2dCase::ALL.map(|case| (op, case)))
+        .collect();
+    sweep::run_with_threads(threads, points.len(), |i| {
+        let (op, case) = points[i];
+        let mut rng = SimRng::seed_from(sweep::point_seed(seed, i));
+        fig5_point(op, case, reps, &mut rng)
+    })
+}
+
+/// Measures one (op, case) bar of Fig. 5.
+fn fig5_point(op: H2dOp, case: H2dCase, reps: usize, rng: &mut SimRng) -> Fig5Row {
+    let mut lat = Samples::new();
+    let mut bw = Samples::new();
+    let mut host = Socket::xeon_6538y();
+    let mut dev = build_device(case);
+    let mut t = Time::ZERO;
+    let mut next: u64 = 1 << 12;
+    for _ in 0..reps {
+        let addrs: Vec<_> = (0..BURST)
+            .map(|_| {
+                next += 1 + rng.gen_range(4);
+                device_line(next)
+            })
+            .collect();
+        t = stage(case, &mut dev, &mut host, &addrs, t);
+        let single = access(op, &mut dev, &mut host, addrs[0], t);
+        lat.record(single.duration_since(t).as_nanos_f64());
+        t = single;
+        // Restage the first line's state consumed by the access.
+        t = stage(case, &mut dev, &mut host, &addrs[..1], t);
+        let port = match op {
+            H2dOp::Load | H2dOp::NtLoad => host.load_port(),
+            _ => host.store_port(),
+        };
+        let spec = host::burst::BurstSpec::from_port(BURST, &port);
+        let burst = host::burst::run_burst(spec, t, |i, at| {
+            access(op, &mut dev, &mut host, addrs[i], at)
+        });
+        bw.record(burst.bandwidth_gbps(64));
+        t = burst.last_completion;
     }
-    rows
+    Fig5Row {
+        op,
+        case,
+        latency_ns: lat.median(),
+        latency_std: lat.std_dev(),
+        bw_gbps: bw.median(),
+    }
 }
 
 /// Prints the Fig. 5 table.

@@ -160,13 +160,17 @@ fn one_transfer(dir: Direction, write: bool, mech: Mechanism, bytes: u64) -> Opt
     Some(done.duration_since(t0).as_nanos_f64())
 }
 
-/// Runs the Fig. 6 sweep for one direction and op kind.
+/// Runs the Fig. 6 sweep for one direction and op kind, fanning the six
+/// mechanism series across the sweep worker pool. Every transfer builds
+/// fresh components, so the series are independent; flattening them in
+/// legend order keeps output identical to the serial loop.
 pub fn run_fig6(dir: Direction, write: bool) -> Vec<Fig6Point> {
-    let mut points = Vec::new();
-    for mech in Mechanism::ALL {
-        for &bytes in &fig6_sizes() {
-            if let Some(latency_ns) = one_transfer(dir, write, mech, bytes) {
-                points.push(Fig6Point {
+    let series = sim_core::sweep::run(Mechanism::ALL.len(), |i| {
+        let mech = Mechanism::ALL[i];
+        fig6_sizes()
+            .into_iter()
+            .filter_map(|bytes| {
+                one_transfer(dir, write, mech, bytes).map(|latency_ns| Fig6Point {
                     dir,
                     write,
                     mechanism: mech,
@@ -176,11 +180,11 @@ pub fn run_fig6(dir: Direction, write: bool) -> Vec<Fig6Point> {
                         bytes,
                         sim_core::time::Duration::from_ns_f64(latency_ns),
                     ),
-                });
-            }
-        }
-    }
-    points
+                })
+            })
+            .collect::<Vec<_>>()
+    });
+    series.into_iter().flatten().collect()
 }
 
 /// Prints one direction's Fig. 6 series.

@@ -3,6 +3,7 @@
 
 use kvs::fig8::{run_ksm, run_zswap, BackendKind, Fig8Config};
 use kvs::ycsb::YcsbWorkload;
+use sim_core::sweep;
 
 /// One cell of Fig. 8.
 #[derive(Debug, Clone)]
@@ -28,32 +29,50 @@ pub enum Feature {
     Ksm,
 }
 
-/// Runs Fig. 8 for one feature across all workloads and backends.
+/// Runs Fig. 8 for one feature across all workloads and backends,
+/// parallelized across cells (see [`run_fig8_with_threads`]).
 pub fn run_fig8(cfg: &Fig8Config, feature: Feature) -> Vec<Fig8Cell> {
-    let mut cells = Vec::new();
-    for workload in YcsbWorkload::ALL {
-        let runner = |kind| match feature {
+    run_fig8_with_threads(sweep::max_threads(), cfg, feature)
+}
+
+/// Runs Fig. 8 on an explicit worker-pool size. Every (workload,
+/// backend) cell is an independent simulation seeded from `cfg`, so the
+/// 20-cell fan-out is deterministic at any thread count; normalization
+/// against each workload's no-feature baseline happens after the pool
+/// joins.
+pub fn run_fig8_with_threads(threads: usize, cfg: &Fig8Config, feature: Feature) -> Vec<Fig8Cell> {
+    let points: Vec<(YcsbWorkload, BackendKind)> = YcsbWorkload::ALL
+        .into_iter()
+        .flat_map(|w| BackendKind::ALL.map(|b| (w, b)))
+        .collect();
+    let reports = sweep::run_with_threads(threads, points.len(), |i| {
+        let (workload, kind) = points[i];
+        match feature {
             Feature::Zswap => run_zswap(cfg, workload, kind),
             Feature::Ksm => run_ksm(cfg, workload, kind),
-        };
-        let base = runner(BackendKind::None);
-        let base_p99 = base.p99.as_micros_f64();
-        for backend in BackendKind::ALL {
-            let r = if backend == BackendKind::None {
-                base.clone()
-            } else {
-                runner(backend)
-            };
-            cells.push(Fig8Cell {
+        }
+    });
+    points
+        .iter()
+        .zip(&reports)
+        .map(|(&(workload, backend), r)| {
+            let base_p99 = points
+                .iter()
+                .zip(&reports)
+                .find(|(&(w, b), _)| w == workload && b == BackendKind::None)
+                .expect("baseline cell exists")
+                .1
+                .p99
+                .as_micros_f64();
+            Fig8Cell {
                 workload,
                 backend,
                 normalized_p99: r.p99.as_micros_f64() / base_p99,
                 p99_us: r.p99.as_micros_f64(),
                 host_cpu_fraction: r.host_cpu_fraction,
-            });
-        }
-    }
-    cells
+            }
+        })
+        .collect()
 }
 
 /// Prints the normalized-p99 table for one feature.

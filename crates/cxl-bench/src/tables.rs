@@ -12,6 +12,7 @@ use kernel::page::PageContent;
 use mem_subsys::coherence::MesiState;
 use mem_subsys::line::LineAddr;
 use sim_core::rng::SimRng;
+use sim_core::sweep;
 use sim_core::time::Time;
 
 /// Prints Table I (device types, protocols, operations, applications).
@@ -134,46 +135,34 @@ pub struct Table4Row {
 }
 
 /// Regenerates Table IV by offloading a 4 KiB page compression through
-/// each device backend and reading the step breakdown.
+/// each device backend and reading the step breakdown. The page is
+/// generated once from `seed`; the three backend runs are independent
+/// (each against a fresh host socket) and fan across the sweep pool.
 pub fn run_table4(seed: u64) -> Vec<Table4Row> {
     let mut rng = SimRng::seed_from(seed);
     let page = PageContent::Text.generate(&mut rng);
-    let mut rows = Vec::new();
-    let mut host = Socket::xeon_6538y();
-
-    let mut rdma = PcieRdmaBackend::bf3();
-    let o = rdma.compress(&page, Time::ZERO, &mut host);
-    rows.push(Table4Row {
-        backend: "pcie-rdma-zswap",
-        transfer_in_us: o.breakdown.transfer_in.as_micros_f64(),
-        compute_us: o.breakdown.compute.as_micros_f64(),
-        transfer_out_us: o.breakdown.transfer_out.as_micros_f64(),
-        total_us: o.breakdown.total.as_micros_f64(),
-        pipelined: false,
-    });
-
-    let mut dma = PcieDmaBackend::agilex7();
-    let o = dma.compress(&page, Time::ZERO, &mut host);
-    rows.push(Table4Row {
-        backend: "pcie-dma-zswap",
-        transfer_in_us: o.breakdown.transfer_in.as_micros_f64(),
-        compute_us: o.breakdown.compute.as_micros_f64(),
-        transfer_out_us: o.breakdown.transfer_out.as_micros_f64(),
-        total_us: o.breakdown.total.as_micros_f64(),
-        pipelined: false,
-    });
-
-    let mut cxl = CxlBackend::agilex7();
-    let o = cxl.compress(&page, Time::ZERO, &mut host);
-    rows.push(Table4Row {
-        backend: "cxl-zswap",
-        transfer_in_us: o.breakdown.transfer_in.as_micros_f64(),
-        compute_us: o.breakdown.compute.as_micros_f64(),
-        transfer_out_us: o.breakdown.transfer_out.as_micros_f64(),
-        total_us: o.breakdown.total.as_micros_f64(),
-        pipelined: true,
-    });
-    rows
+    const BACKENDS: [(&str, bool); 3] = [
+        ("pcie-rdma-zswap", false),
+        ("pcie-dma-zswap", false),
+        ("cxl-zswap", true),
+    ];
+    sweep::run(BACKENDS.len(), |i| {
+        let (backend, pipelined) = BACKENDS[i];
+        let mut host = Socket::xeon_6538y();
+        let o = match i {
+            0 => PcieRdmaBackend::bf3().compress(&page, Time::ZERO, &mut host),
+            1 => PcieDmaBackend::agilex7().compress(&page, Time::ZERO, &mut host),
+            _ => CxlBackend::agilex7().compress(&page, Time::ZERO, &mut host),
+        };
+        Table4Row {
+            backend,
+            transfer_in_us: o.breakdown.transfer_in.as_micros_f64(),
+            compute_us: o.breakdown.compute.as_micros_f64(),
+            transfer_out_us: o.breakdown.transfer_out.as_micros_f64(),
+            total_us: o.breakdown.total.as_micros_f64(),
+            pipelined,
+        }
+    })
 }
 
 /// Prints the regenerated Table IV.

@@ -17,6 +17,7 @@ use kernel::reclaim::{MemoryZone, ReclaimPath, Watermarks};
 use kernel::zswap::{SwapKey, Zswap, ZswapConfig};
 use sim_core::rng::SimRng;
 use sim_core::stats::Histogram;
+use sim_core::sweep;
 use sim_core::time::{Duration, Time};
 use sim_core::trace::{self, CounterRegistry, KvsStep, TraceEvent};
 
@@ -685,6 +686,59 @@ pub fn run_ksm(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) -> T
     percentile_report(&hists, feature_cpu, cfg, 0)
 }
 
+/// Runs the zswap experiment once per seed, fanning the independent
+/// per-seed simulations across the sweep worker pool. Seed `i` is
+/// derived from `cfg.seed` via [`sweep::point_seed`], so the series is
+/// stable and identical at every thread count.
+pub fn run_zswap_seeds(
+    cfg: &Fig8Config,
+    workload: YcsbWorkload,
+    kind: BackendKind,
+    seeds: usize,
+) -> Vec<TailReport> {
+    run_zswap_seeds_with_threads(sweep::max_threads(), cfg, workload, kind, seeds)
+}
+
+/// [`run_zswap_seeds`] on an explicit worker-pool size.
+pub fn run_zswap_seeds_with_threads(
+    threads: usize,
+    cfg: &Fig8Config,
+    workload: YcsbWorkload,
+    kind: BackendKind,
+    seeds: usize,
+) -> Vec<TailReport> {
+    sweep::run_with_threads(threads, seeds, |i| {
+        let mut point_cfg = cfg.clone();
+        point_cfg.seed = sweep::point_seed(cfg.seed, i);
+        run_zswap(&point_cfg, workload, kind)
+    })
+}
+
+/// Runs the ksm experiment once per seed; see [`run_zswap_seeds`].
+pub fn run_ksm_seeds(
+    cfg: &Fig8Config,
+    workload: YcsbWorkload,
+    kind: BackendKind,
+    seeds: usize,
+) -> Vec<TailReport> {
+    run_ksm_seeds_with_threads(sweep::max_threads(), cfg, workload, kind, seeds)
+}
+
+/// [`run_ksm_seeds`] on an explicit worker-pool size.
+pub fn run_ksm_seeds_with_threads(
+    threads: usize,
+    cfg: &Fig8Config,
+    workload: YcsbWorkload,
+    kind: BackendKind,
+    seeds: usize,
+) -> Vec<TailReport> {
+    sweep::run_with_threads(threads, seeds, |i| {
+        let mut point_cfg = cfg.clone();
+        point_cfg.seed = sweep::point_seed(cfg.seed, i);
+        run_ksm(&point_cfg, workload, kind)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -758,5 +812,23 @@ mod tests {
         assert_eq!(a.p99, b.p99);
         assert_eq!(a.requests, b.requests);
         assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn seed_fanout_is_thread_invariant() {
+        let cfg = tiny();
+        let serial = run_zswap_seeds_with_threads(1, &cfg, YcsbWorkload::B, BackendKind::Cxl, 4);
+        let parallel = run_zswap_seeds_with_threads(4, &cfg, YcsbWorkload::B, BackendKind::Cxl, 4);
+        assert_eq!(serial.len(), 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.p99, b.p99);
+            assert_eq!(a.p50, b.p50);
+            assert_eq!(a.requests, b.requests);
+            assert_eq!(a.faults, b.faults);
+        }
+        // Distinct seeds genuinely perturb the workload.
+        assert!(serial
+            .iter()
+            .any(|r| r.p99 != serial[0].p99 || r.requests != serial[0].requests));
     }
 }

@@ -27,6 +27,7 @@ pub mod event;
 pub mod port;
 pub mod rng;
 pub mod stats;
+pub mod sweep;
 pub mod time;
 pub mod trace;
 

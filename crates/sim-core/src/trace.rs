@@ -41,7 +41,7 @@
 //! assert_eq!(trace::from_jsonl(&jsonl).unwrap(), events);
 //! ```
 
-use core::cell::RefCell;
+use core::cell::{Cell, RefCell};
 use core::fmt::Write as _;
 use std::collections::BTreeMap;
 
@@ -545,6 +545,20 @@ impl TraceRing {
         self.dropped
     }
 
+    /// The ring's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Accounts for `n` events that were emitted elsewhere and already
+    /// evicted: sequence numbering and the dropped count advance as if
+    /// they had passed through this ring. Used by [`splice`] to merge a
+    /// worker tracer's output while preserving serial-equivalent state.
+    fn note_dropped(&mut self, n: u64) {
+        self.next_seq += n;
+        self.dropped += n;
+    }
+
     /// The retained events, oldest first.
     pub fn to_vec(&self) -> Vec<TimedEvent> {
         let mut out = Vec::with_capacity(self.len);
@@ -564,6 +578,10 @@ impl TraceRing {
 
 thread_local! {
     static TRACER: RefCell<Option<TraceRing>> = const { RefCell::new(None) };
+    /// Mirror of `TRACER.is_some()`. [`emit`] reads this plain `Cell`
+    /// first so the untraced hot path is one thread-local load and a
+    /// branch — no `RefCell` borrow bookkeeping.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Installs a fresh tracer (ring of `capacity` events) on this thread,
@@ -571,10 +589,12 @@ thread_local! {
 /// parallel test runs isolated and traces deterministic.
 pub fn install(capacity: usize) {
     TRACER.with(|t| *t.borrow_mut() = Some(TraceRing::new(capacity)));
+    ACTIVE.set(true);
 }
 
 /// Removes this thread's tracer, returning the retained events.
 pub fn uninstall() -> Vec<TimedEvent> {
+    ACTIVE.set(false);
     TRACER.with(|t| {
         t.borrow_mut()
             .take()
@@ -585,12 +605,50 @@ pub fn uninstall() -> Vec<TimedEvent> {
 
 /// True if a tracer is installed on this thread.
 pub fn is_active() -> bool {
-    TRACER.with(|t| t.borrow().is_some())
+    ACTIVE.get()
+}
+
+/// The capacity of this thread's installed ring, if any. Sweep workers
+/// use it to clone the caller's tracer configuration.
+pub fn installed_capacity() -> Option<usize> {
+    TRACER.with(|t| t.borrow().as_ref().map(|r| r.capacity()))
+}
+
+/// Removes this thread's tracer, returning the retained events *and* the
+/// count of events it evicted by wrap-around — everything [`splice`]
+/// needs to merge the capture into another thread's ring.
+pub fn take_captured() -> (Vec<TimedEvent>, u64) {
+    ACTIVE.set(false);
+    TRACER.with(|t| {
+        t.borrow_mut()
+            .take()
+            .map(|r| (r.to_vec(), r.dropped()))
+            .unwrap_or_default()
+    })
+}
+
+/// Merges a worker capture (from [`take_captured`] on a ring of the same
+/// capacity) into this thread's tracer, exactly as if the worker's whole
+/// emission stream had passed through it: sequence numbers are reassigned
+/// continuously, and eviction counts match serial execution. A no-op
+/// without an installed tracer.
+pub fn splice(dropped: u64, events: &[TimedEvent]) {
+    TRACER.with(|t| {
+        if let Some(ring) = t.borrow_mut().as_mut() {
+            ring.note_dropped(dropped);
+            for e in events {
+                ring.push(e.at, e.event);
+            }
+        }
+    });
 }
 
 /// Records `event` at simulated time `at`; a no-op without a tracer.
 #[inline]
 pub fn emit(at: Time, event: TraceEvent) {
+    if !ACTIVE.get() {
+        return;
+    }
     TRACER.with(|t| {
         if let Some(ring) = t.borrow_mut().as_mut() {
             ring.push(at, event);
@@ -1377,6 +1435,54 @@ mod tests {
         c.incr("dev.x");
         c.incr("device.y");
         assert_eq!(c.sum_prefix("dev"), 1);
+    }
+
+    #[test]
+    fn splice_reproduces_serial_ring_state() {
+        // Serial reference: one capacity-4 ring sees 3 points x 6 events.
+        install(4);
+        for i in 0..18u64 {
+            emit(at(i), TraceEvent::LlcPush { addr: i });
+        }
+        let (serial_events, serial_dropped) = take_captured();
+
+        // "Parallel": each point captured on its own same-capacity ring,
+        // then spliced back in point order.
+        install(4);
+        for p in 0..3u64 {
+            let mut worker = TraceRing::new(4);
+            for i in 0..6u64 {
+                worker.push(at(p * 6 + i), TraceEvent::LlcPush { addr: p * 6 + i });
+            }
+            let (events, dropped) = (worker.to_vec(), worker.dropped());
+            splice(dropped, &events);
+        }
+        let (merged_events, merged_dropped) = take_captured();
+        assert_eq!(merged_events, serial_events, "retained window + seqs");
+        assert_eq!(merged_dropped, serial_dropped, "eviction accounting");
+    }
+
+    #[test]
+    fn splice_with_partial_points_matches_serial() {
+        // Points smaller than capacity must splice without phantom drops.
+        install(8);
+        for i in 0..5u64 {
+            emit(at(i), TraceEvent::LlcPush { addr: i });
+        }
+        let (serial_events, serial_dropped) = take_captured();
+
+        install(8);
+        for (start, n) in [(0u64, 2u64), (2, 3)] {
+            let mut worker = TraceRing::new(8);
+            for i in 0..n {
+                worker.push(at(start + i), TraceEvent::LlcPush { addr: start + i });
+            }
+            splice(worker.dropped(), &worker.to_vec());
+        }
+        let (merged_events, merged_dropped) = take_captured();
+        assert_eq!(merged_events, serial_events);
+        assert_eq!(merged_dropped, serial_dropped);
+        assert_eq!(merged_dropped, 0);
     }
 
     #[test]

@@ -117,6 +117,176 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+pub mod report {
+    //! Machine-readable wall-clock baselines: a named list of scenario
+    //! timings with a hand-rolled JSON round-trip (the environment has
+    //! no serde) and a regression comparator for CI.
+
+    /// One measured scenario: a name and a per-iteration (or per-run)
+    /// wall-clock figure in nanoseconds. Ratio-style scenarios (e.g.
+    /// parallel-speedup factors) reuse the `ns` slot for the ratio.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Scenario {
+        /// Scenario name, unique within a report.
+        pub name: String,
+        /// The measurement (nanoseconds, or a unitless ratio).
+        pub ns: f64,
+    }
+
+    /// A set of scenario measurements, serializable to/from JSON.
+    #[derive(Debug, Clone, Default, PartialEq)]
+    pub struct BenchReport {
+        /// The scenarios, in recording order.
+        pub scenarios: Vec<Scenario>,
+    }
+
+    /// One regression found by [`BenchReport::regressions`].
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Regression {
+        /// The offending scenario.
+        pub name: String,
+        /// Its committed-baseline figure.
+        pub baseline_ns: f64,
+        /// The freshly measured figure.
+        pub current_ns: f64,
+        /// `current / baseline`.
+        pub ratio: f64,
+    }
+
+    impl BenchReport {
+        /// An empty report.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Records one scenario (replacing an earlier same-named one).
+        pub fn record(&mut self, name: &str, ns: f64) {
+            if let Some(s) = self.scenarios.iter_mut().find(|s| s.name == name) {
+                s.ns = ns;
+            } else {
+                self.scenarios.push(Scenario {
+                    name: name.to_string(),
+                    ns,
+                });
+            }
+        }
+
+        /// Looks up a scenario's figure.
+        pub fn get(&self, name: &str) -> Option<f64> {
+            self.scenarios.iter().find(|s| s.name == name).map(|s| s.ns)
+        }
+
+        /// JSON export, one scenario per line (stable, diff-friendly).
+        pub fn to_json(&self) -> String {
+            let mut out = String::from("{\n  \"scenarios\": [\n");
+            for (i, s) in self.scenarios.iter().enumerate() {
+                let comma = if i + 1 == self.scenarios.len() {
+                    ""
+                } else {
+                    ","
+                };
+                out.push_str(&format!(
+                    "    {{\"name\":\"{}\",\"ns\":{:.3}}}{comma}\n",
+                    s.name, s.ns
+                ));
+            }
+            out.push_str("  ]\n}\n");
+            out
+        }
+
+        /// Parses [`Self::to_json`] output (line-oriented; scenario
+        /// names must not contain `"`).
+        pub fn from_json(s: &str) -> Result<Self, String> {
+            let mut report = BenchReport::new();
+            for line in s.lines() {
+                let line = line.trim().trim_end_matches(',');
+                let Some(rest) = line.strip_prefix("{\"name\":\"") else {
+                    continue;
+                };
+                let (name, rest) = rest
+                    .split_once('"')
+                    .ok_or_else(|| format!("unterminated name in {line:?}"))?;
+                let num = rest
+                    .trim_start_matches(',')
+                    .trim_start()
+                    .strip_prefix("\"ns\":")
+                    .ok_or_else(|| format!("missing ns in {line:?}"))?
+                    .trim_end_matches('}')
+                    .trim();
+                let ns: f64 = num.parse().map_err(|e| format!("bad ns for {name}: {e}"))?;
+                report.record(name, ns);
+            }
+            Ok(report)
+        }
+
+        /// Compares `self` (fresh measurements) against a committed
+        /// baseline: every scenario present in both whose name does not
+        /// mark it as a unitless ratio (`*_speedup*`) and whose fresh
+        /// figure exceeds `baseline * (1 + tolerance)` is reported.
+        pub fn regressions(&self, baseline: &BenchReport, tolerance: f64) -> Vec<Regression> {
+            let mut out = Vec::new();
+            for base in &baseline.scenarios {
+                if base.name.contains("speedup") {
+                    continue;
+                }
+                let Some(current) = self.get(&base.name) else {
+                    continue;
+                };
+                if current > base.ns * (1.0 + tolerance) {
+                    out.push(Regression {
+                        name: base.name.clone(),
+                        baseline_ns: base.ns,
+                        current_ns: current,
+                        ratio: current / base.ns,
+                    });
+                }
+            }
+            out
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn json_round_trips() {
+            let mut r = BenchReport::new();
+            r.record("event_queue_churn", 123.456);
+            r.record("fig4_sweep_serial", 9_876_543.21);
+            r.record("fig4_sweep_speedup_4t", 2.75);
+            let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+            assert_eq!(parsed.scenarios.len(), 3);
+            assert!((parsed.get("event_queue_churn").unwrap() - 123.456).abs() < 1e-3);
+            assert!((parsed.get("fig4_sweep_speedup_4t").unwrap() - 2.75).abs() < 1e-9);
+        }
+
+        #[test]
+        fn regressions_respect_tolerance_and_skip_ratios() {
+            let mut base = BenchReport::new();
+            base.record("a", 100.0);
+            base.record("b", 100.0);
+            base.record("x_speedup_4t", 3.0);
+            let mut fresh = BenchReport::new();
+            fresh.record("a", 110.0); // within 25%
+            fresh.record("b", 150.0); // regression
+            fresh.record("x_speedup_4t", 1.0); // ratio: never flagged
+            let regs = fresh.regressions(&base, 0.25);
+            assert_eq!(regs.len(), 1);
+            assert_eq!(regs[0].name, "b");
+            assert!((regs[0].ratio - 1.5).abs() < 1e-9);
+        }
+
+        #[test]
+        fn malformed_json_is_rejected() {
+            assert!(BenchReport::from_json("{\"name\":\"x\",\"ns\":nope}").is_err());
+            // Lines that are not scenario entries are skipped.
+            let r = BenchReport::from_json("{\n  \"scenarios\": [\n  ]\n}\n").unwrap();
+            assert!(r.scenarios.is_empty());
+        }
+    }
+}
+
 /// Declares a benchmark group function.
 #[macro_export]
 macro_rules! criterion_group {

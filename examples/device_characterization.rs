@@ -8,7 +8,10 @@ use cxl_bench::{fig3, fig4, fig5};
 
 fn main() {
     let reps = 200;
-    println!("Device characterization (reps = {reps})\n");
+    println!(
+        "Device characterization (reps = {reps}, sweep threads = {})\n",
+        sim_core::sweep::max_threads()
+    );
 
     let rows = fig3::run_fig3(reps, 1);
     fig3::print_fig3(&rows);

@@ -8,21 +8,27 @@ use cxl_t2_sim::prelude::*;
 
 const LINES: u64 = 1024;
 
+const MLPS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
 fn sweep(label: &str, addrs: &[LineAddr]) {
     println!("== {label} ==");
     println!("  {:>4}  {:>10}  {:>12}", "MLP", "GB/s", "burst time");
-    for mlp in [1usize, 2, 4, 8, 16, 32, 64] {
+    // Each MLP point runs on a fresh host/device pair, so the seven
+    // points fan across the sweep worker pool and print in MLP order.
+    let results = sim_core::sweep::run(MLPS.len(), |i| {
         let mut host = Socket::xeon_6538y();
         let mut dev = CxlDevice::agilex7();
-        let r = Lsu::new().concurrent_burst(
+        Lsu::new().concurrent_burst(
             &mut dev,
             &mut host,
             RequestType::CS_RD,
             BurstTarget::DeviceMemory,
             addrs,
             Time::ZERO,
-            mlp,
-        );
+            MLPS[i],
+        )
+    });
+    for (mlp, r) in MLPS.into_iter().zip(&results) {
         println!(
             "  {mlp:>4}  {:>10.2}  {:>12}",
             r.bandwidth_gbps(64),

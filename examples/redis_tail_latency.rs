@@ -31,22 +31,23 @@ fn main() {
         kv.data_bytes() / 1024
     );
 
-    // Timing slice: the Fig. 8 row for YCSB-A at example scale.
+    // Timing slice: the Fig. 8 row for YCSB-A at example scale. The five
+    // backend runs are independent simulations off the same config, so
+    // they fan across the sweep worker pool; BackendKind::ALL[0] is the
+    // no-zswap baseline the row normalizes against.
     let mut cfg = Fig8Config::smoke();
     cfg.duration = Duration::from_millis(80);
     println!("Redis p99 under zswap, YCSB-A (normalized to no-zswap):");
-    let base = run_zswap(&cfg, YcsbWorkload::A, BackendKind::None);
-    for kind in BackendKind::ALL {
-        let r = if kind == BackendKind::None {
-            base.clone()
-        } else {
-            run_zswap(&cfg, YcsbWorkload::A, kind)
-        };
+    let reports = sim_core::sweep::run(BackendKind::ALL.len(), |i| {
+        run_zswap(&cfg, YcsbWorkload::A, BackendKind::ALL[i])
+    });
+    let base_p99 = reports[0].p99.as_nanos_f64();
+    for (kind, r) in BackendKind::ALL.into_iter().zip(&reports) {
         println!(
             "  {:<12} p99 = {:>8.1} us  ({:>5.2}x)  host CPU {:>4.1}%",
             format!("{}-zswap", kind.name()),
             r.p99.as_micros_f64(),
-            r.p99.as_nanos_f64() / base.p99.as_nanos_f64(),
+            r.p99.as_nanos_f64() / base_p99,
             r.host_cpu_fraction * 100.0,
         );
     }

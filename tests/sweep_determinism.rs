@@ -1,0 +1,106 @@
+//! Determinism contract of the parallel sweep runner: a representative
+//! sweep must produce byte-identical trace exports and counter
+//! snapshots at every thread count, including when the capture ring
+//! wraps. `CXL_SIM_THREADS=1` (or `run_with_threads(1, ..)`) is the
+//! reference serial execution the parallel paths are held against.
+
+use cxl_bench::fig4::{run_fig4_with_threads, Fig4Row};
+use sim_core::sweep;
+use sim_core::time::Time;
+use sim_core::trace::{self, CounterRegistry, Lane, OpKind, TraceEvent};
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+const TRACE_CAPACITY: usize = 1 << 14;
+
+fn fig4_traced(threads: usize) -> (Vec<Fig4Row>, String, u64) {
+    trace::install(TRACE_CAPACITY);
+    let rows = run_fig4_with_threads(threads, 8, 11);
+    let (events, dropped) = trace::take_captured();
+    (rows, trace::to_jsonl(&events), dropped)
+}
+
+fn assert_rows_equal(a: &[Fig4Row], b: &[Fig4Row], threads: usize) {
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(ra.request, rb.request, "threads={threads}");
+        assert_eq!(ra.dmc_hit, rb.dmc_hit, "threads={threads}");
+        // Bit-exact float equality is the contract: the parallel runner
+        // must not reorder or re-associate any arithmetic.
+        assert_eq!(bits(ra.host_bias_latency_ns), bits(rb.host_bias_latency_ns));
+        assert_eq!(
+            bits(ra.device_bias_latency_ns),
+            bits(rb.device_bias_latency_ns)
+        );
+        assert_eq!(bits(ra.host_bias_bw_gbps), bits(rb.host_bias_bw_gbps));
+        assert_eq!(bits(ra.device_bias_bw_gbps), bits(rb.device_bias_bw_gbps));
+        assert_eq!(bits(ra.emulated_latency_ns), bits(rb.emulated_latency_ns));
+    }
+}
+
+#[test]
+fn fig4_sweep_is_byte_identical_across_thread_counts() {
+    let (rows1, trace1, dropped1) = fig4_traced(1);
+    assert!(!trace1.is_empty(), "fig4 emits protocol trace events");
+    for threads in [2, 4, sweep::max_threads().max(3)] {
+        let (rows_n, trace_n, dropped_n) = fig4_traced(threads);
+        assert_rows_equal(&rows1, &rows_n, threads);
+        assert_eq!(trace1, trace_n, "trace JSONL diverged at {threads} threads");
+        assert_eq!(dropped1, dropped_n, "drop accounting at {threads} threads");
+    }
+}
+
+/// Synthetic counter sweep: every point builds its own registry and the
+/// merged snapshot (point order) must not depend on the thread count.
+fn counter_sweep(threads: usize, points: usize) -> String {
+    let snapshots = sweep::run_with_threads(threads, points, |i| {
+        let mut counters = CounterRegistry::new();
+        for k in 0..=(i % 5) {
+            counters.add("sweep.work", (i * 7 + k) as u64);
+        }
+        counters.incr("sweep.points");
+        counters.to_jsonl()
+    });
+    snapshots.concat()
+}
+
+#[test]
+fn counter_snapshots_merge_deterministically() {
+    let serial = counter_sweep(1, 23);
+    for threads in [2, 4, 8] {
+        assert_eq!(serial, counter_sweep(threads, 23), "threads={threads}");
+    }
+}
+
+/// A deliberately tiny ring (every point overflows it): the spliced
+/// capture — retained window, drop count, and export bytes — must still
+/// match the serial run exactly.
+#[test]
+fn ring_wraparound_splices_identically() {
+    let run = |threads: usize| {
+        trace::install(8);
+        sweep::run_with_threads(threads, 9, |i| {
+            for k in 0..20u64 {
+                trace::emit(
+                    Time::from_nanos((i as u64) * 1_000 + k),
+                    TraceEvent::Request {
+                        lane: Lane::D2h,
+                        op: OpKind::NcRd,
+                        addr: ((i as u64) << 8) | k,
+                    },
+                );
+            }
+        });
+        let (events, dropped) = trace::take_captured();
+        (trace::to_jsonl(&events), dropped)
+    };
+    let (serial, dropped1) = run(1);
+    assert!(dropped1 > 0, "the ring must actually wrap");
+    for threads in [2, 4] {
+        let (parallel, dropped_n) = run(threads);
+        assert_eq!(serial, parallel, "threads={threads}");
+        assert_eq!(dropped1, dropped_n, "threads={threads}");
+    }
+}
