@@ -1,0 +1,108 @@
+//! Wall-clock benchmark harness for the duplex-contention sweep. Emits a
+//! machine-readable [`BenchReport`] (`BENCH_duplex.json` is the committed
+//! baseline) and, with `--check`, fails when a tracked scenario regresses
+//! beyond tolerance.
+//!
+//! Usage:
+//!   bench_duplex [--out PATH] [--check BASELINE] [--tolerance FRAC]
+//!
+//! Scenario figures are wall nanoseconds (min over a few runs — the
+//! least-noise estimator on a shared CI box). `*_speedup_4t` entries are
+//! unitless serial/parallel ratios, recorded for visibility and never
+//! regression-checked.
+
+use std::time::Instant;
+
+use criterion::report::BenchReport;
+use cxl_bench::duplex::run_duplex_with_threads;
+
+const REQUESTS: u64 = 1000;
+const SEED: u64 = 42;
+
+/// Min wall time of `runs` calls of `f`, in nanoseconds.
+fn time_min(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next(),
+            "--check" => check_path = args.next(),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance FRAC");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_duplex [--out PATH] [--check BASELINE] [--tolerance FRAC]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = BenchReport::new();
+
+    println!("== duplex sweep (6 load points, {REQUESTS} requests/flow) ==");
+    let serial = time_min(5, || {
+        std::hint::black_box(run_duplex_with_threads(1, REQUESTS, REQUESTS, SEED));
+    });
+    report.record("duplex_sweep_serial", serial);
+    println!("  serial                   {:>12.0} ns", serial);
+    let par4 = time_min(5, || {
+        std::hint::black_box(run_duplex_with_threads(4, REQUESTS, REQUESTS, SEED));
+    });
+    report.record("duplex_sweep_4t", par4);
+    let speedup = serial / par4;
+    report.record("duplex_sweep_speedup_4t", speedup);
+    println!(
+        "  4 threads                {:>12.0} ns   ({speedup:.2}x)",
+        par4
+    );
+
+    if let Some(path) = &out_path {
+        std::fs::write(path, report.to_json()).expect("write report");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let baseline_json = std::fs::read_to_string(path).expect("read baseline");
+        let baseline = BenchReport::from_json(&baseline_json).expect("parse baseline");
+        let regs = report.regressions(&baseline, tolerance);
+        if regs.is_empty() {
+            println!(
+                "baseline check: ok ({} tracked scenarios within {:.0}%)",
+                baseline
+                    .scenarios
+                    .iter()
+                    .filter(|s| !s.name.contains("speedup"))
+                    .count(),
+                tolerance * 100.0
+            );
+        } else {
+            for r in &regs {
+                eprintln!(
+                    "REGRESSION {}: {:.0} ns -> {:.0} ns ({:.2}x, tolerance {:.0}%)",
+                    r.name,
+                    r.baseline_ns,
+                    r.current_ns,
+                    r.ratio,
+                    tolerance * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}

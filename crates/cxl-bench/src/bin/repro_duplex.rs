@@ -1,0 +1,17 @@
+//! Regenerates the duplex-contention sweep (foreground H2D offload
+//! latency vs background D2H ingest load, isolated and contended).
+//! Accepts `--trace-out <path>` to export the run's protocol trace.
+
+use cxl_bench::traceopt::TraceOut;
+
+fn main() {
+    let (args, trace_out) = TraceOut::from_env();
+    let requests = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(4000);
+    let rows = cxl_bench::duplex::run_duplex(requests, requests, 42);
+    cxl_bench::duplex::print_duplex(&rows);
+    trace_out.finish();
+}

@@ -17,11 +17,13 @@
 //! | Table IV (offload breakdown) | [`tables::run_table4`] | `repro_table4` |
 //! | Fig. 8 (tail latency) | [`fig8run`] | `repro_fig8` |
 //! | Design ablations | [`ablations`] | `repro_ablations` |
+//! | Duplex H2D/D2H contention | [`duplex`] | `repro_duplex` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod duplex;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -23,6 +23,7 @@ use mem_subsys::line::LineAddr;
 use sim_core::port::PortSpec;
 use sim_core::time::{Duration, Time};
 use sim_core::trace::{self, BiasKind, CacheId, CounterRegistry, Lane, MemId, OpKind, TraceEvent};
+use sim_core::traffic::FlowSpec;
 
 use crate::addr::{device_byte_offset, device_local_index, is_device_addr};
 use crate::dcoh::SliceArray;
@@ -263,6 +264,24 @@ impl CxlDevice {
                 )
             })
             .collect()
+    }
+
+    /// A traffic-subsystem flow named `name` issuing through the LSU
+    /// request window — the device-initiated D2H/D2D initiator.
+    pub fn lsu_flow(&self, name: &'static str) -> FlowSpec {
+        FlowSpec::bound(name, self.lsu_port())
+    }
+
+    /// [`lsu_flow`](Self::lsu_flow) with out-of-order retirement (MSHR
+    /// semantics) for measured-MLP runs.
+    pub fn lsu_flow_ooo(&self, name: &'static str) -> FlowSpec {
+        FlowSpec::bound(name, self.lsu_port_ooo())
+    }
+
+    /// A flow arriving through the H2D ingress buffer — host-pushed
+    /// traffic as seen from the device edge.
+    pub fn h2d_ingress_flow(&self, name: &'static str) -> FlowSpec {
+        FlowSpec::bound(name, self.h2d_ingress_port())
     }
 
     /// The PCIe DVSEC register block the device exposes through CXL.io

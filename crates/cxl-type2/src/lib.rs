@@ -42,6 +42,7 @@ pub mod addr;
 pub mod dcoh;
 pub mod device;
 pub mod lsu;
+pub mod occupancy;
 pub mod platform;
 pub mod timing;
 pub mod transfer;
@@ -51,6 +52,7 @@ pub mod prelude {
     pub use crate::addr::{device_line, host_line, is_device_addr, DEVICE_MEM_BASE};
     pub use crate::device::{CxlDevice, DeviceAccess};
     pub use crate::lsu::{BurstTarget, Lsu};
+    pub use crate::occupancy::SliceOccupancy;
     pub use crate::platform::Platform;
     pub use crate::timing::DeviceTiming;
 }

@@ -1,0 +1,179 @@
+//! DCOH slice request-table occupancy for multi-initiator harnesses.
+//!
+//! The synchronous device facades ([`CxlDevice::d2h`], [`CxlDevice::h2d`],
+//! …) charge each transaction its pipeline latency but — by design — hold
+//! no inter-transaction state for the DCOH request tables: each call
+//! models one transaction in isolation, which is what the single-stream
+//! golden traces (Table III, Fig. 7) pin down.
+//!
+//! When several initiators drive one device concurrently (the
+//! [`sim_core::traffic`] scheduler), the slices' bounded request tables
+//! become a real resource: H2D and D2H transactions that interleave onto
+//! the same slice occupy entries for their whole lifetime and serialize on
+//! the slice's non-pipelined lookup cadence. [`SliceOccupancy`] models
+//! exactly that, as an *opt-in* layer a harness backend applies around the
+//! facade calls — the facades themselves stay untouched, so every
+//! single-stream golden trace is byte-identical.
+//!
+//! Usage, per op, inside a traffic backend:
+//!
+//! ```text
+//! let slice = dev.slice_of(addr);
+//! let start = occ.admit(slice, issue_time);   // may stall: table full
+//! let done  = dev.h2d(op, addr, start, &mut socket).completion;
+//! occ.retire(slice, done);                    // entry held until done
+//! ```
+
+use sim_core::time::{Duration, Time};
+
+use crate::device::CxlDevice;
+
+/// Bounded per-slice request tables with a non-pipelined lookup cadence.
+///
+/// An entry is allocated at [`admit`](Self::admit) and held until the
+/// completion passed to [`retire`](Self::retire); a full table stalls the
+/// next admission until its earliest outstanding completion, like an MSHR
+/// file. Calls must be made in nondecreasing `at` order (the order a
+/// [`sim_core::port::PortEngine`] backend sees issues).
+#[derive(Debug, Clone)]
+pub struct SliceOccupancy {
+    entries: usize,
+    lookup: Duration,
+    slices: Vec<SliceState>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SliceState {
+    /// Completion times of occupied entries, sorted ascending.
+    inflight: Vec<Time>,
+    /// Earliest next lookup allowed by the slice's cadence.
+    next_lookup: Time,
+    /// Admissions that had to wait for a table entry.
+    stalls: u64,
+}
+
+impl SliceOccupancy {
+    /// A table of `slices` slices, each `entries` deep, with one lookup
+    /// per `lookup` interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` or `entries` is zero.
+    pub fn new(slices: usize, entries: usize, lookup: Duration) -> Self {
+        assert!(slices > 0, "need at least one slice");
+        assert!(entries > 0, "request table needs at least one entry");
+        SliceOccupancy {
+            entries,
+            lookup,
+            slices: vec![SliceState::default(); slices],
+        }
+    }
+
+    /// The occupancy model matching `dev`'s geometry: one table per DCOH
+    /// slice, `dcoh_slice_outstanding` entries each, lookups at the
+    /// `dcoh_lookup` cadence.
+    pub fn for_device(dev: &CxlDevice) -> Self {
+        SliceOccupancy::new(
+            dev.slice_count(),
+            dev.timing.dcoh_slice_outstanding,
+            dev.timing.dcoh_lookup,
+        )
+    }
+
+    /// Admits one transaction to `slice` at `at`: returns when its DCOH
+    /// lookup may start, after any table-full stall and the slice's
+    /// lookup cadence. Allocates the entry; pair with
+    /// [`retire`](Self::retire).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range.
+    pub fn admit(&mut self, slice: usize, at: Time) -> Time {
+        let s = &mut self.slices[slice];
+        let mut start = at.max(s.next_lookup);
+        s.inflight.retain(|&c| c > start);
+        if s.inflight.len() >= self.entries {
+            let earliest = s.inflight.remove(0);
+            start = start.max(earliest);
+            s.inflight.retain(|&c| c > start);
+            s.stalls += 1;
+        }
+        s.next_lookup = start + self.lookup;
+        start
+    }
+
+    /// Records that the transaction admitted to `slice` holds its entry
+    /// until `completion`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range.
+    pub fn retire(&mut self, slice: usize, completion: Time) {
+        let s = &mut self.slices[slice];
+        let pos = s.inflight.partition_point(|&c| c <= completion);
+        s.inflight.insert(pos, completion);
+    }
+
+    /// Admissions that found their slice's table full, summed over all
+    /// slices — the direct signature of request-table contention.
+    pub fn stalls(&self) -> u64 {
+        self.slices.iter().map(|s| s.stalls).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> Duration {
+        Duration::from_nanos(n)
+    }
+
+    #[test]
+    fn empty_table_admits_at_arrival() {
+        let mut occ = SliceOccupancy::new(4, 8, ns(5));
+        assert_eq!(occ.admit(0, Time::from_nanos(100)), Time::from_nanos(100));
+        assert_eq!(occ.stalls(), 0);
+    }
+
+    #[test]
+    fn lookup_cadence_serializes_back_to_back_admissions() {
+        let mut occ = SliceOccupancy::new(1, 64, ns(5));
+        assert_eq!(occ.admit(0, Time::ZERO), Time::ZERO);
+        // Same-cycle arrival waits for the lookup port.
+        assert_eq!(occ.admit(0, Time::ZERO), Time::from_nanos(5));
+        assert_eq!(occ.admit(0, Time::ZERO), Time::from_nanos(10));
+    }
+
+    #[test]
+    fn full_table_stalls_until_earliest_retire() {
+        let mut occ = SliceOccupancy::new(1, 2, ns(0));
+        let a = occ.admit(0, Time::ZERO);
+        occ.retire(0, a + ns(100));
+        let b = occ.admit(0, Time::ZERO);
+        occ.retire(0, b + ns(300));
+        // Both entries held; the third admission waits for the 100 ns
+        // completion.
+        let c = occ.admit(0, Time::ZERO);
+        assert_eq!(c, Time::from_nanos(100));
+        assert_eq!(occ.stalls(), 1);
+    }
+
+    #[test]
+    fn slices_are_independent() {
+        let mut occ = SliceOccupancy::new(2, 1, ns(0));
+        let a = occ.admit(0, Time::ZERO);
+        occ.retire(0, a + ns(500));
+        // Slice 1's table is empty regardless of slice 0's occupancy.
+        assert_eq!(occ.admit(1, Time::ZERO), Time::ZERO);
+        assert_eq!(occ.stalls(), 0);
+    }
+
+    #[test]
+    fn matches_device_geometry() {
+        let dev = CxlDevice::agilex7_with_slices(4);
+        let occ = SliceOccupancy::for_device(&dev);
+        assert_eq!(occ.slices.len(), 4);
+        assert_eq!(occ.entries, dev.timing.dcoh_slice_outstanding);
+    }
+}

@@ -16,6 +16,7 @@ use mem_subsys::line::LineAddr;
 use sim_core::port::PortSpec;
 use sim_core::time::{Duration, Time};
 use sim_core::trace::{self, CacheId, MemId, SnoopKind, TraceEvent};
+use sim_core::traffic::FlowSpec;
 
 use crate::hierarchy::{CacheHierarchy, HitLevel};
 use crate::timing::HostTiming;
@@ -128,6 +129,24 @@ impl Socket {
             self.timing.max_outstanding_stores,
             self.timing.core_issue_interval,
         )
+    }
+
+    /// A traffic-subsystem flow named `name` issuing through the core's
+    /// load queue — the host-initiated H2D read initiator.
+    pub fn load_flow(&self, name: &'static str) -> FlowSpec {
+        FlowSpec::bound(name, self.load_port())
+    }
+
+    /// A flow issuing through the core's remote-load credits (UPI/CXL
+    /// destinations).
+    pub fn remote_load_flow(&self, name: &'static str) -> FlowSpec {
+        FlowSpec::bound(name, self.remote_load_port())
+    }
+
+    /// A flow issuing through the core's store buffer — the H2D write
+    /// (ST/NT-ST) initiator.
+    pub fn store_flow(&self, name: &'static str) -> FlowSpec {
+        FlowSpec::bound(name, self.store_port())
     }
 
     fn level_latency(&self, level: HitLevel) -> Duration {

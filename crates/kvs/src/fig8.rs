@@ -20,6 +20,7 @@ use sim_core::stats::Histogram;
 use sim_core::sweep;
 use sim_core::time::{Duration, Time};
 use sim_core::trace::{self, CounterRegistry, KvsStep, TraceEvent};
+use tinybench::hist::TailSummary;
 
 use crate::server::{merge_jobs, run_core, Job};
 use crate::ycsb::{KeyDistribution, Op, YcsbWorkload};
@@ -288,16 +289,15 @@ fn percentile_report(
     cfg: &Fig8Config,
     faults: u64,
 ) -> TailReport {
-    let mut merged = Histogram::new();
-    for h in hists {
-        merged.merge(h);
-    }
+    // The merge + percentile reduction is the workspace-shared machinery
+    // in tinybench::hist (also used by sim_core::traffic flow stats).
+    let tail = TailSummary::of_merged(hists.iter().map(Histogram::raw));
     let core_time = cfg.duration.mul_f64(cfg.total_cores as f64);
     TailReport {
-        p99: merged.percentile(99.0),
-        p50: merged.percentile(50.0),
-        mean: merged.mean(),
-        requests: merged.count(),
+        p99: Duration::from_picos(tail.p99),
+        p50: Duration::from_picos(tail.p50),
+        mean: Duration::from_picos(tail.mean),
+        requests: tail.count,
         feature_host_cpu,
         host_cpu_fraction: feature_host_cpu.as_nanos_f64() / core_time.as_nanos_f64(),
         faults,

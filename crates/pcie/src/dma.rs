@@ -9,6 +9,7 @@
 use sim_core::port::PortSpec;
 use sim_core::time::{Duration, Time};
 use sim_core::trace::{self, TraceEvent};
+use sim_core::traffic::FlowSpec;
 
 /// Timestamped descriptor lifecycle of one DMA transfer, as reported by
 /// [`PcieDma::submit`].
@@ -145,6 +146,12 @@ impl PcieDma {
     /// faster than the setup path can build them.
     pub fn port_spec(&self, ring_entries: usize) -> PortSpec {
         PortSpec::in_order("pcie.dma.ring", ring_entries, self.setup)
+    }
+
+    /// A traffic-subsystem flow named `name` issuing through the
+    /// descriptor ring — the DMA-initiated H2D/D2H bulk initiator.
+    pub fn ring_flow(&self, name: &'static str, ring_entries: usize) -> FlowSpec {
+        FlowSpec::bound(name, self.port_spec(ring_entries))
     }
 
     /// The time when the most recently submitted data is actually at the

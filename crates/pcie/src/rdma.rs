@@ -12,6 +12,7 @@
 use sim_core::port::PortSpec;
 use sim_core::time::{Duration, Time};
 use sim_core::trace::{self, TraceEvent};
+use sim_core::traffic::FlowSpec;
 
 /// Timestamped lifecycle of one RDMA work request, as reported by
 /// [`RdmaEngine::submit`].
@@ -126,6 +127,12 @@ impl RdmaEngine {
         PortSpec::in_order("pcie.rdma.sq", sq_entries, self.post)
     }
 
+    /// A traffic-subsystem flow named `name` posting through the send
+    /// queue — the RDMA-initiated bulk initiator.
+    pub fn sq_flow(&self, name: &'static str, sq_entries: usize) -> FlowSpec {
+        FlowSpec::bound(name, self.port_spec(sq_entries))
+    }
+
     /// Host CPU time per operation.
     pub fn host_cpu_time(&self) -> Duration {
         self.host_cpu
@@ -170,6 +177,16 @@ impl DocaDma {
     /// Transfer of `bytes`; returns completion.
     pub fn transfer(&mut self, now: Time, bytes: u64) -> Time {
         self.0.transfer(now, bytes)
+    }
+
+    /// Posts a work request; see [`RdmaEngine::submit`].
+    pub fn submit(&mut self, now: Time, bytes: u64) -> RdmaEvents {
+        self.0.submit(now, bytes)
+    }
+
+    /// The DOCA work queue's port; see [`RdmaEngine::port_spec`].
+    pub fn port_spec(&self, sq_entries: usize) -> PortSpec {
+        self.0.port_spec(sq_entries)
     }
 
     /// Streaming time for `bytes`.

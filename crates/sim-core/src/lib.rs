@@ -30,6 +30,7 @@ pub mod stats;
 pub mod sweep;
 pub mod time;
 pub mod trace;
+pub mod traffic;
 
 /// Convenient glob-import of the most common simulation types.
 pub mod prelude {
@@ -39,4 +40,7 @@ pub mod prelude {
     pub use crate::stats::{bandwidth_gbps, Histogram, Samples, Summary};
     pub use crate::time::{ClockDomain, Cycles, Duration, Time, DEVICE_CLOCK, HOST_CLOCK};
     pub use crate::trace::{CounterRegistry, Span, TimedEvent, TraceEvent};
+    pub use crate::traffic::{
+        AddressPattern, Arrival, FlowOp, FlowSpec, FlowStats, TrafficReport, TrafficScheduler,
+    };
 }

@@ -150,6 +150,10 @@ struct PortState {
     inflight: Vec<Time>,
     /// Earliest next issue allowed by the port's cadence.
     next_issue: Time,
+    /// Whether an Issue event for this port is currently in the event
+    /// queue. A port with an empty pending queue disarms; a reactive
+    /// submission re-arms it.
+    armed: bool,
 }
 
 impl PortState {
@@ -160,6 +164,7 @@ impl PortState {
             issued_completions: Vec::new(),
             inflight: Vec::new(),
             next_issue: Time::ZERO,
+            armed: false,
         }
     }
 
@@ -275,7 +280,33 @@ impl<P> PortEngine<P> {
     /// # Panics
     ///
     /// Panics if the backend reports a completion before the issue time.
-    pub fn run(&mut self, mut backend: impl FnMut(TxnId, &P, Time) -> Time) -> Vec<Completion<P>>
+    pub fn run(&mut self, backend: impl FnMut(TxnId, &P, Time) -> Time) -> Vec<Completion<P>>
+    where
+        P: Clone,
+    {
+        self.run_reactive(backend, |_| Vec::new())
+    }
+
+    /// [`run`](Self::run) with a completion hook that may submit follow-up
+    /// transactions: `on_complete(&completion)` returns `(port, ready,
+    /// payload)` triples queued as if submitted at the completion's time.
+    ///
+    /// This is what closed-loop workload generators need — the next
+    /// request of a client exists only once its previous request
+    /// completes (think-time arrivals), so it cannot be pre-submitted.
+    /// Follow-ups whose `ready` is in the past of the engine clock are
+    /// admitted as soon as their port allows, exactly like a head-of-line
+    /// pending transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend reports a completion before the issue time,
+    /// or if a follow-up names an unknown port.
+    pub fn run_reactive(
+        &mut self,
+        mut backend: impl FnMut(TxnId, &P, Time) -> Time,
+        mut on_complete: impl FnMut(&Completion<P>) -> Vec<(PortId, Time, P)>,
+    ) -> Vec<Completion<P>>
     where
         P: Clone,
     {
@@ -302,13 +333,20 @@ impl<P> PortEngine<P> {
                 }
                 EngineEvent::Complete(idx) => {
                     let t = &self.txns[idx];
-                    out.push(Completion {
+                    let completion = Completion {
                         id: TxnId(idx as u64),
                         port: t.port,
                         payload: t.payload.clone(),
                         issued: t.issued.expect("completed txn was issued"),
                         completed: at,
-                    });
+                    };
+                    for (port, ready, payload) in on_complete(&completion) {
+                        self.submit(port, ready, payload);
+                        if !self.ports[port].armed {
+                            self.schedule_head(port, &mut queue);
+                        }
+                    }
+                    out.push(completion);
                 }
             }
         }
@@ -316,15 +354,20 @@ impl<P> PortEngine<P> {
     }
 
     /// Pops the next pending transaction of `port` and schedules its issue
-    /// event at the port's admission time.
+    /// event at the port's admission time; disarms the port if nothing is
+    /// pending.
     fn schedule_head(&mut self, port: PortId, queue: &mut EventQueue<EngineEvent>) {
         let Some(&idx) = self.ports[port].pending.front() else {
+            self.ports[port].armed = false;
             return;
         };
         self.ports[port].pending.pop_front();
         let ready = self.txns[idx].ready;
-        let at = self.ports[port].admit_at(ready);
+        // A reactive follow-up may carry a ready time already behind the
+        // engine clock; it cannot issue in the simulated past.
+        let at = self.ports[port].admit_at(ready).max(queue.now());
         queue.schedule(at, EngineEvent::Issue(idx));
+        self.ports[port].armed = true;
     }
 }
 
@@ -460,6 +503,85 @@ mod tests {
         let x = build();
         let y = build();
         assert_eq!(x, y, "same submissions must replay identically");
+    }
+
+    #[test]
+    fn reactive_follow_ups_chain_with_think_time() {
+        // One closed-loop client: each completion spawns the next request
+        // after 50 ns of think time. Service is a fixed 100 ns, so ops run
+        // back to back at a 150 ns period.
+        let mut e = PortEngine::new();
+        let p = e.add_port(PortSpec::in_order("p", 4, ns(0)));
+        e.submit(p, Time::ZERO, 0u64);
+        let mut remaining = 3u64;
+        let done = e.run_reactive(
+            |_, _, t| t + ns(100),
+            |c| {
+                if remaining == 0 {
+                    return Vec::new();
+                }
+                remaining -= 1;
+                vec![(c.port, c.completed + ns(50), c.payload + 1)]
+            },
+        );
+        let completed: Vec<Time> = done.iter().map(|c| c.completed).collect();
+        assert_eq!(
+            completed,
+            vec![
+                Time::from_nanos(100),
+                Time::from_nanos(250),
+                Time::from_nanos(400),
+                Time::from_nanos(550),
+            ]
+        );
+    }
+
+    #[test]
+    fn reactive_follow_up_with_past_ready_issues_now() {
+        // A follow-up whose ready time is behind the engine clock must not
+        // schedule into the simulated past — it issues at `now`.
+        let mut e = PortEngine::new();
+        let p = e.add_port(PortSpec::in_order("p", 1, ns(0)));
+        e.submit(p, Time::from_nanos(500), 0u64);
+        let mut spawned = false;
+        let done = e.run_reactive(
+            |_, _, t| t + ns(100),
+            |c| {
+                if spawned {
+                    return Vec::new();
+                }
+                spawned = true;
+                // Ready long before the completion that spawns it.
+                vec![(c.port, Time::from_nanos(1), c.payload + 1)]
+            },
+        );
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[1].issued, Time::from_nanos(600));
+    }
+
+    #[test]
+    fn reactive_matches_presubmitted_when_open_loop() {
+        // If the hook never fires, run_reactive is exactly run.
+        let build = |reactive: bool| {
+            let mut e = PortEngine::new();
+            let a = e.add_port(PortSpec::in_order("a", 2, ns(3)));
+            let b = e.add_port(PortSpec::out_of_order("b", 3, ns(1)));
+            for i in 0..12u64 {
+                e.submit(if i % 2 == 0 { a } else { b }, Time::from_nanos(i * 2), i);
+            }
+            let mut bus = Time::ZERO;
+            let backend = move |_: TxnId, _: &u64, t: Time| {
+                let s = bus.max(t);
+                bus = s + ns(9);
+                bus
+            };
+            if reactive {
+                e.run_reactive(backend, |_| Vec::new())
+            } else {
+                e.run(backend)
+            }
+        };
+        assert_eq!(build(true), build(false));
     }
 
     #[test]

@@ -227,7 +227,9 @@ impl Extend<f64> for Samples {
 /// millions of end-to-end request latencies (Fig. 8's p99 measurements).
 ///
 /// Buckets are arranged as 64 power-of-two ranges each subdivided into 32
-/// linear sub-buckets, giving ≤ ~3% relative quantile error.
+/// linear sub-buckets, giving ≤ ~3% relative quantile error. This is a
+/// `Duration`-typed view over [`tinybench::hist::LatencyHist`], the
+/// workspace's shared histogram machinery.
 ///
 /// # Examples
 ///
@@ -246,78 +248,40 @@ impl Extend<f64> for Samples {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Histogram {
-    /// counts[msb][sub] where msb indexes the position of the highest set
-    /// bit of the picosecond value and sub the next SUB_BITS bits.
-    counts: Vec<u64>,
-    total: u64,
-    sum_ps: u128,
-    max_ps: u64,
-    min_ps: u64,
+    inner: tinybench::hist::LatencyHist,
 }
 
-const SUB_BITS: u32 = 5;
-const SUBS: usize = 1 << SUB_BITS;
+// Downstream crates that already depend on the `tinybench` package under
+// its `criterion` alias cannot also name it `tinybench`; give them the
+// shared histogram types through this crate instead.
+pub use tinybench::hist::{LatencyHist, TailSummary};
 
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Histogram {
-            counts: vec![0; 64 * SUBS],
-            total: 0,
-            sum_ps: 0,
-            max_ps: 0,
-            min_ps: u64::MAX,
+            inner: tinybench::hist::LatencyHist::new(),
         }
-    }
-
-    fn index(ps: u64) -> usize {
-        if ps < SUBS as u64 {
-            return ps as usize;
-        }
-        let msb = 63 - ps.leading_zeros();
-        let sub = ((ps >> (msb - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
-        (msb as usize) * SUBS + sub
-    }
-
-    fn bucket_value(idx: usize) -> u64 {
-        if idx < SUBS {
-            return idx as u64;
-        }
-        let msb = (idx / SUBS) as u32;
-        let sub = (idx % SUBS) as u64;
-        // Midpoint of the bucket's range.
-        let base = 1u64 << msb;
-        let step = 1u64 << (msb - SUB_BITS);
-        base + sub * step + step / 2
     }
 
     /// Records one latency sample.
     pub fn record(&mut self, d: Duration) {
-        let ps = d.as_picos();
-        self.counts[Self::index(ps)] += 1;
-        self.total += 1;
-        self.sum_ps += ps as u128;
-        self.max_ps = self.max_ps.max(ps);
-        self.min_ps = self.min_ps.min(ps);
+        self.inner.record(d.as_picos());
     }
 
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
-        self.total
+        self.inner.count()
     }
 
     /// True if no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.total == 0
+        self.inner.is_empty()
     }
 
     /// Mean latency, or zero if empty.
     pub fn mean(&self) -> Duration {
-        if self.total == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_picos((self.sum_ps / self.total as u128) as u64)
-        }
+        Duration::from_picos(self.inner.mean())
     }
 
     /// Largest recorded sample (exact).
@@ -326,8 +290,7 @@ impl Histogram {
     ///
     /// Panics if empty.
     pub fn max(&self) -> Duration {
-        assert!(self.total > 0, "max of empty histogram");
-        Duration::from_picos(self.max_ps)
+        Duration::from_picos(self.inner.max())
     }
 
     /// Smallest recorded sample (exact).
@@ -336,8 +299,7 @@ impl Histogram {
     ///
     /// Panics if empty.
     pub fn min(&self) -> Duration {
-        assert!(self.total > 0, "min of empty histogram");
-        Duration::from_picos(self.min_ps)
+        Duration::from_picos(self.inner.min())
     }
 
     /// The `p`-th percentile latency with bounded relative error.
@@ -346,28 +308,18 @@ impl Histogram {
     ///
     /// Panics if empty or `p` not in `(0, 100]`.
     pub fn percentile(&self, p: f64) -> Duration {
-        assert!(self.total > 0, "percentile of empty histogram");
-        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
-        let rank = ((p / 100.0) * self.total as f64).ceil() as u64;
-        let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Duration::from_picos(Self::bucket_value(idx).min(self.max_ps));
-            }
-        }
-        Duration::from_picos(self.max_ps)
+        Duration::from_picos(self.inner.percentile(p))
     }
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_ps += other.sum_ps;
-        self.max_ps = self.max_ps.max(other.max_ps);
-        self.min_ps = self.min_ps.min(other.min_ps);
+        self.inner.merge(&other.inner);
+    }
+
+    /// The underlying unit-agnostic histogram (picosecond samples), for
+    /// reductions through [`tinybench::hist::TailSummary`].
+    pub fn raw(&self) -> &tinybench::hist::LatencyHist {
+        &self.inner
     }
 }
 
@@ -457,13 +409,15 @@ mod tests {
 
     #[test]
     fn histogram_small_values_exact() {
+        // Values below the linear/log split (32 sub-buckets) are exact.
+        const SUBS: u64 = 32;
         let mut h = Histogram::new();
-        for ps in 0..SUBS as u64 {
+        for ps in 0..SUBS {
             h.record(Duration::from_picos(ps));
         }
         assert_eq!(h.min().as_picos(), 0);
-        assert_eq!(h.max().as_picos(), SUBS as u64 - 1);
-        assert_eq!(h.count(), SUBS as u64);
+        assert_eq!(h.max().as_picos(), SUBS - 1);
+        assert_eq!(h.count(), SUBS);
     }
 
     #[test]

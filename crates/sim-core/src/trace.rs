@@ -451,6 +451,15 @@ pub enum TraceEvent {
         /// Request key.
         key: u64,
     },
+    /// A traffic-generator op retired ([`crate::traffic`] flow view).
+    FlowOp {
+        /// Flow index within its scheduler.
+        flow: u32,
+        /// Line address the op touched.
+        line: u64,
+        /// Submit→completion sojourn in picoseconds (queueing + service).
+        sojourn_ps: u64,
+    },
     /// A timing scope opened.
     SpanBegin {
         /// Scope name.
@@ -948,6 +957,16 @@ fn json_event(out: &mut String, e: &TimedEvent) {
                 ",\"kind\":\"kvs\",\"step\":\"{step}\",\"server\":{server},\"key\":{key}"
             )
         }
+        TraceEvent::FlowOp {
+            flow,
+            line,
+            sojourn_ps,
+        } => {
+            write!(
+                out,
+                ",\"kind\":\"flow-op\",\"flow\":{flow},\"line\":{line},\"sojourn_ps\":{sojourn_ps}"
+            )
+        }
         TraceEvent::SpanBegin { name } => {
             write!(out, ",\"kind\":\"span-begin\",\"name\":\"{name}\"")
         }
@@ -1043,6 +1062,17 @@ pub fn to_human(events: &[TimedEvent]) -> String {
             }
             TraceEvent::Kvs { step, server, key } => {
                 writeln!(out, "kvs {step} server={server} key={key}")
+            }
+            TraceEvent::FlowOp {
+                flow,
+                line,
+                sojourn_ps,
+            } => {
+                writeln!(
+                    out,
+                    "flow {flow} op line={line:#x} ({:.3} ns)",
+                    sojourn_ps as f64 / 1e3
+                )
             }
             TraceEvent::SpanBegin { name } => writeln!(out, "span begin {name}"),
             TraceEvent::SpanEnd { name, elapsed_ps } => {
@@ -1289,6 +1319,11 @@ pub fn from_jsonl(s: &str) -> Result<Vec<TimedEvent>, TraceParseError> {
                     step: r.parse_as("step", KvsStep::parse)?,
                     server: r.num("server")? as u32,
                     key: r.num("key")?,
+                },
+                "flow-op" => TraceEvent::FlowOp {
+                    flow: r.num("flow")? as u32,
+                    line: r.num("line")?,
+                    sojourn_ps: r.num("sojourn_ps")?,
                 },
                 "span-begin" => TraceEvent::SpanBegin {
                     name: intern_name(r.string("name")?),

@@ -1,0 +1,724 @@
+//! Multi-initiator workload generation over the port engine.
+//!
+//! A CXL Type-2 link is full duplex: host cores issue LD/ST against device
+//! memory (H2D) while the device LSU, the H2D ingress pipeline, and PCIe
+//! descriptor rings push traffic of their own. The interesting behaviour —
+//! DCOH request tables filling up, DRAM channels serializing writes from
+//! both directions — only appears when those initiators run *concurrently*
+//! against one shared timing model.
+//!
+//! This module provides the missing piece: deterministic workload
+//! generators bound to ports. A [`FlowSpec`] pairs an arrival process
+//! ([`Arrival`]: open-loop Poisson or fixed-rate, or closed-loop with
+//! think time) with an address stream ([`AddressPattern`]: uniform,
+//! zipfian, sequential) and a [`PortSpec`] describing the initiator's
+//! queue. A [`TrafficScheduler`] interleaves every registered flow through
+//! one shared [`PortEngine`], so transactions from different initiators
+//! genuinely collide in whatever stateful backend the caller supplies.
+//!
+//! Per-flow results come back as [`FlowStats`]: a latency histogram
+//! (p50/p99/p999 via [`tail`](FlowStats::tail)), achieved bandwidth, and
+//! occupancy. Each retired op also emits a
+//! [`TraceEvent::FlowOp`] record, so traces stay byte-identical across
+//! thread counts under the sweep runner.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::port::PortSpec;
+//! use sim_core::time::{Duration, Time};
+//! use sim_core::traffic::{FlowSpec, TrafficScheduler};
+//!
+//! // Two initiators over one serializing 20 ns resource.
+//! let mut sched = TrafficScheduler::new(7);
+//! sched.add_flow(
+//!     FlowSpec::bound("fg", PortSpec::in_order("fg.port", 4, Duration::ZERO))
+//!         .open_fixed(Duration::from_nanos(50))
+//!         .requests(100),
+//! );
+//! sched.add_flow(
+//!     FlowSpec::bound("bg", PortSpec::in_order("bg.port", 4, Duration::ZERO))
+//!         .open_poisson(Duration::from_nanos(80))
+//!         .requests(100),
+//! );
+//! let mut bus_free = Time::ZERO;
+//! let report = sched.run(|_op, at| {
+//!     let start = bus_free.max(at);
+//!     bus_free = start + Duration::from_nanos(20);
+//!     bus_free
+//! });
+//! assert_eq!(report.flows[0].ops + report.flows[1].ops, 200);
+//! ```
+
+use crate::port::{PortEngine, PortId, PortSpec};
+use crate::rng::SimRng;
+use crate::stats::{bandwidth_gbps, Histogram};
+use crate::sweep;
+use crate::time::{Duration, Time};
+use crate::trace::{self, CounterRegistry, TraceEvent};
+use tinybench::hist::TailSummary;
+
+/// How a flow's requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Open loop, exponential interarrivals (memoryless offered load).
+    Poisson {
+        /// Mean time between arrivals.
+        mean_interarrival: Duration,
+    },
+    /// Open loop, constant interarrivals (fixed offered rate).
+    Fixed {
+        /// Time between arrivals; `ZERO` means "as fast as the port
+        /// admits".
+        interval: Duration,
+    },
+    /// Closed loop: `clients` requests circulate, each re-arriving
+    /// `think` after its previous completion. Offered load self-throttles
+    /// under contention, as a synchronous requester would.
+    Closed {
+        /// Per-client gap between a completion and the next arrival.
+        think: Duration,
+        /// Concurrent outstanding requesters.
+        clients: usize,
+    },
+}
+
+/// Which line each op of a flow touches, over the flow's line range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AddressPattern {
+    /// Independent uniform draws.
+    Uniform,
+    /// Zipfian draws (Gray's approximation, as in YCSB): a small hot set
+    /// absorbs most accesses. `theta` in `(0, 1)`, typically `0.99`.
+    Zipfian {
+        /// Skew parameter; larger is more skewed.
+        theta: f64,
+    },
+    /// Strided walk through the range, wrapping.
+    Sequential,
+}
+
+/// One workload generator bound to one initiator port.
+///
+/// Built with [`bound`](Self::bound) plus chained setters; registered via
+/// [`TrafficScheduler::add_flow`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// Flow label for reports.
+    pub name: &'static str,
+    /// The initiator's queue structure (depth, cadence, admission).
+    pub port: PortSpec,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Address stream shape.
+    pub pattern: AddressPattern,
+    /// First line of the flow's address range.
+    pub base_line: u64,
+    /// Number of lines in the range.
+    pub lines: u64,
+    /// Total ops this flow generates.
+    pub requests: u64,
+    /// When the first arrival may occur.
+    pub start: Time,
+    /// Bytes moved per op (for achieved-bandwidth reporting).
+    pub bytes_per_op: u64,
+}
+
+impl FlowSpec {
+    /// A flow named `name` issuing through `port`: open-loop
+    /// port-rate-limited arrivals, uniform addresses over 4096 lines from
+    /// zero, 1024 requests, 64 B per op, starting at time zero. Override
+    /// with the chained setters.
+    pub fn bound(name: &'static str, port: PortSpec) -> Self {
+        FlowSpec {
+            name,
+            port,
+            arrival: Arrival::Fixed {
+                interval: Duration::ZERO,
+            },
+            pattern: AddressPattern::Uniform,
+            base_line: 0,
+            lines: 4096,
+            requests: 1024,
+            start: Time::ZERO,
+            bytes_per_op: 64,
+        }
+    }
+
+    /// Open-loop Poisson arrivals with the given mean interarrival.
+    pub fn open_poisson(mut self, mean_interarrival: Duration) -> Self {
+        self.arrival = Arrival::Poisson { mean_interarrival };
+        self
+    }
+
+    /// Open-loop fixed-rate arrivals.
+    pub fn open_fixed(mut self, interval: Duration) -> Self {
+        self.arrival = Arrival::Fixed { interval };
+        self
+    }
+
+    /// Closed-loop arrivals: `clients` outstanding requesters with `think`
+    /// between completion and re-arrival.
+    pub fn closed(mut self, clients: usize, think: Duration) -> Self {
+        self.arrival = Arrival::Closed { think, clients };
+        self
+    }
+
+    /// Zipfian address draws with skew `theta`.
+    pub fn zipfian(mut self, theta: f64) -> Self {
+        self.pattern = AddressPattern::Zipfian { theta };
+        self
+    }
+
+    /// Sequential (wrapping) address walk.
+    pub fn sequential(mut self) -> Self {
+        self.pattern = AddressPattern::Sequential;
+        self
+    }
+
+    /// Restrict the address stream to `count` lines starting at `base`.
+    pub fn over_lines(mut self, base: u64, count: u64) -> Self {
+        assert!(count > 0, "flow needs at least one line");
+        self.base_line = base;
+        self.lines = count;
+        self
+    }
+
+    /// Total ops to generate.
+    pub fn requests(mut self, n: u64) -> Self {
+        self.requests = n;
+        self
+    }
+
+    /// Delay the first arrival.
+    pub fn starting_at(mut self, at: Time) -> Self {
+        self.start = at;
+        self
+    }
+
+    /// Bytes per op, for bandwidth accounting.
+    pub fn bytes_per_op(mut self, bytes: u64) -> Self {
+        self.bytes_per_op = bytes;
+        self
+    }
+}
+
+/// Zipfian sampler state (Gray et al.'s rejection-free approximation, the
+/// same scheme YCSB uses). Construction is `O(n)` — the harmonic partial
+/// sum is computed once per flow.
+#[derive(Debug, Clone)]
+struct ZipfState {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl ZipfState {
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs a non-empty range");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "zipf theta must be in (0, 1), got {theta}"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfState {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// A rank in `[0, n)`, rank 0 hottest.
+    fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.gen_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if self.n > 1 && uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// Payload the scheduler submits for every generated op. Backends read the
+/// line address; the `ready` stamp is the op's arrival time, so sojourn
+/// (queueing + service) is `completed - ready`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowOp {
+    /// Index of the owning flow within its scheduler.
+    pub flow: u32,
+    /// Op ordinal within the flow.
+    pub seq: u64,
+    /// Line address the op targets.
+    pub line: u64,
+    /// Arrival time (generation instant, before any queueing).
+    pub ready: Time,
+}
+
+/// Runtime state of one registered flow.
+#[derive(Debug, Clone)]
+struct FlowRt {
+    spec: FlowSpec,
+    port: PortId,
+    rng: SimRng,
+    zipf: Option<ZipfState>,
+    /// Ops generated so far; doubles as the sequential-walk cursor.
+    generated: u64,
+}
+
+impl FlowRt {
+    /// The next op of this flow arriving at `ready`, or `None` once the
+    /// request budget is spent.
+    fn gen_op(&mut self, flow: u32, ready: Time) -> Option<FlowOp> {
+        if self.generated >= self.spec.requests {
+            return None;
+        }
+        let seq = self.generated;
+        self.generated += 1;
+        let offset = match self.spec.pattern {
+            AddressPattern::Uniform => self.rng.gen_range(self.spec.lines),
+            AddressPattern::Zipfian { .. } => self
+                .zipf
+                .as_ref()
+                .expect("zipf state built at add_flow")
+                .sample(&mut self.rng),
+            AddressPattern::Sequential => seq % self.spec.lines,
+        };
+        Some(FlowOp {
+            flow,
+            seq,
+            line: self.spec.base_line + offset,
+            ready,
+        })
+    }
+}
+
+/// Per-flow results of one [`TrafficScheduler::run`].
+#[derive(Debug, Clone)]
+pub struct FlowStats {
+    /// The flow's label.
+    pub name: &'static str,
+    /// Ops retired.
+    pub ops: u64,
+    /// Bytes moved (`ops * bytes_per_op`).
+    pub bytes: u64,
+    /// Sojourn (arrival to completion) distribution.
+    pub hist: Histogram,
+    /// When the flow's first op issued.
+    pub first_issue: Time,
+    /// When its last op completed.
+    pub last_completion: Time,
+    /// Summed per-op service time (issue to completion).
+    pub busy: Duration,
+    /// Summed per-op sojourn, for occupancy via Little's law.
+    sojourn: Duration,
+}
+
+impl FlowStats {
+    fn new(name: &'static str) -> Self {
+        FlowStats {
+            name,
+            ops: 0,
+            bytes: 0,
+            hist: Histogram::new(),
+            first_issue: Time::ZERO,
+            last_completion: Time::ZERO,
+            busy: Duration::ZERO,
+            sojourn: Duration::ZERO,
+        }
+    }
+
+    /// Wall-clock span from first issue to last completion.
+    pub fn elapsed(&self) -> Duration {
+        self.last_completion.duration_since(self.first_issue)
+    }
+
+    /// p50/p99/p999/mean of the sojourn distribution (zeros when empty).
+    pub fn tail(&self) -> TailSummary {
+        TailSummary::of(self.hist.raw())
+    }
+
+    /// Achieved bandwidth over the flow's active span.
+    pub fn achieved_gbps(&self) -> f64 {
+        bandwidth_gbps(self.bytes, self.elapsed())
+    }
+
+    /// Mean ops in flight over the active span (Little's law:
+    /// total sojourn / elapsed).
+    pub fn mean_outstanding(&self) -> f64 {
+        let elapsed = self.elapsed();
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.sojourn.as_nanos_f64() / elapsed.as_nanos_f64()
+    }
+}
+
+/// Everything one [`TrafficScheduler::run`] produced.
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    /// One entry per registered flow, in registration order.
+    pub flows: Vec<FlowStats>,
+    /// Aggregate counters (`traffic.ops`, `traffic.bytes`).
+    pub counters: CounterRegistry,
+}
+
+/// Interleaves every registered flow through one shared [`PortEngine`], so
+/// all initiators contend in the caller's backend.
+///
+/// Determinism: flow `i` draws from `SimRng::seed_from(point_seed(seed,
+/// i))`, so adding a flow never perturbs the streams of existing flows,
+/// and the same `(seed, flows)` always replays the identical schedule.
+#[derive(Debug, Clone)]
+pub struct TrafficScheduler {
+    seed: u64,
+    engine: PortEngine<FlowOp>,
+    flows: Vec<FlowRt>,
+}
+
+impl TrafficScheduler {
+    /// An empty scheduler; `seed` roots every flow's RNG stream.
+    pub fn new(seed: u64) -> Self {
+        TrafficScheduler {
+            seed,
+            engine: PortEngine::new(),
+            flows: Vec::new(),
+        }
+    }
+
+    /// Registers `spec` and pre-submits its open-loop arrivals (or seeds
+    /// its closed-loop clients). Returns the flow's index.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> usize {
+        let port = self.engine.add_port(spec.port);
+        let idx = self.flows.len();
+        let flow = idx as u32;
+        let zipf = match spec.pattern {
+            AddressPattern::Zipfian { theta } => Some(ZipfState::new(spec.lines, theta)),
+            _ => None,
+        };
+        let mut rt = FlowRt {
+            spec,
+            port,
+            rng: SimRng::seed_from(sweep::point_seed(self.seed, idx)),
+            zipf,
+            generated: 0,
+        };
+        match spec.arrival {
+            Arrival::Poisson { mean_interarrival } => {
+                let mut at = spec.start;
+                while let Some(op) = rt.gen_op(flow, at) {
+                    self.engine.submit(port, at, op);
+                    at += mean_interarrival.mul_f64(rt.rng.gen_exp());
+                }
+            }
+            Arrival::Fixed { interval } => {
+                let mut at = spec.start;
+                while let Some(op) = rt.gen_op(flow, at) {
+                    self.engine.submit(port, at, op);
+                    at += interval;
+                }
+            }
+            Arrival::Closed { clients, .. } => {
+                assert!(clients > 0, "closed loop needs at least one client");
+                for _ in 0..clients {
+                    let Some(op) = rt.gen_op(flow, spec.start) else {
+                        break;
+                    };
+                    self.engine.submit(port, spec.start, op);
+                }
+            }
+        }
+        self.flows.push(rt);
+        idx
+    }
+
+    /// Runs every flow to exhaustion against `backend(op, issue_time) ->
+    /// completion_time`. The backend is shared by all flows — its state is
+    /// where contention happens. Closed-loop flows regenerate via
+    /// completion hooks; open-loop arrivals were fixed at
+    /// [`add_flow`](Self::add_flow) time.
+    pub fn run(&mut self, mut backend: impl FnMut(&FlowOp, Time) -> Time) -> TrafficReport {
+        let flows = &mut self.flows;
+        let completions = self.engine.run_reactive(
+            |_, op, at| backend(op, at),
+            |c| {
+                let f = &mut flows[c.payload.flow as usize];
+                if let Arrival::Closed { think, .. } = f.spec.arrival {
+                    let ready = c.completed + think;
+                    if let Some(op) = f.gen_op(c.payload.flow, ready) {
+                        return vec![(f.port, ready, op)];
+                    }
+                }
+                Vec::new()
+            },
+        );
+        let mut stats: Vec<FlowStats> = flows.iter().map(|f| FlowStats::new(f.spec.name)).collect();
+        let mut counters = CounterRegistry::new();
+        for c in &completions {
+            let op = &c.payload;
+            let s = &mut stats[op.flow as usize];
+            if s.ops == 0 || c.issued < s.first_issue {
+                s.first_issue = c.issued;
+            }
+            s.last_completion = s.last_completion.max(c.completed);
+            s.ops += 1;
+            s.bytes += flows[op.flow as usize].spec.bytes_per_op;
+            let sojourn = c.completed.duration_since(op.ready);
+            s.hist.record(sojourn);
+            s.sojourn += sojourn;
+            s.busy += c.completed.duration_since(c.issued);
+            counters.incr("traffic.ops");
+            counters.add("traffic.bytes", flows[op.flow as usize].spec.bytes_per_op);
+            trace::emit(
+                c.completed,
+                TraceEvent::FlowOp {
+                    flow: op.flow,
+                    line: op.line,
+                    sojourn_ps: sojourn.as_picos(),
+                },
+            );
+        }
+        TrafficReport {
+            flows: stats,
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> Duration {
+        Duration::from_nanos(n)
+    }
+
+    /// Fixed 30 ns service, no shared state: a pure per-port pipeline.
+    fn fixed_backend(op: &FlowOp, at: Time) -> Time {
+        let _ = op;
+        at + ns(30)
+    }
+
+    #[test]
+    fn open_fixed_flow_retires_all_requests() {
+        let mut sched = TrafficScheduler::new(1);
+        let f = sched.add_flow(
+            FlowSpec::bound("a", PortSpec::in_order("a.port", 4, Duration::ZERO))
+                .open_fixed(ns(100))
+                .requests(16),
+        );
+        let report = sched.run(fixed_backend);
+        let s = &report.flows[f];
+        assert_eq!(s.ops, 16);
+        assert_eq!(s.bytes, 16 * 64);
+        // Unloaded port: every sojourn is the 30 ns service time (up to
+        // the histogram's ~3% log-bucket resolution).
+        let p99 = s.tail().p99 as f64;
+        assert!(
+            (p99 - 30_000.0).abs() / 30_000.0 < 0.04,
+            "unloaded sojourn p99 should be ~30 ns, got {p99} ps"
+        );
+        assert_eq!(report.counters.get("traffic.ops"), 16);
+    }
+
+    #[test]
+    fn closed_loop_respects_think_time() {
+        // One client, 70 ns think, 30 ns service: ops retire every 100 ns.
+        let mut sched = TrafficScheduler::new(1);
+        let f = sched.add_flow(
+            FlowSpec::bound("c", PortSpec::in_order("c.port", 4, Duration::ZERO))
+                .closed(1, ns(70))
+                .requests(5),
+        );
+        let report = sched.run(fixed_backend);
+        let s = &report.flows[f];
+        assert_eq!(s.ops, 5);
+        // Completions at 30, 130, 230, 330, 430 ns.
+        assert_eq!(s.last_completion, Time::from_nanos(430));
+    }
+
+    #[test]
+    fn closed_loop_client_count_bounds_outstanding() {
+        // 4 clients, zero think, window 8, serializing backend: at most 4
+        // ops can ever be in flight.
+        let mut sched = TrafficScheduler::new(2);
+        let f = sched.add_flow(
+            FlowSpec::bound("c", PortSpec::out_of_order("c.port", 8, Duration::ZERO))
+                .closed(4, Duration::ZERO)
+                .requests(64),
+        );
+        let report = sched.run(fixed_backend);
+        let s = &report.flows[f];
+        assert_eq!(s.ops, 64);
+        assert!(
+            s.mean_outstanding() <= 4.0 + 1e-9,
+            "closed loop must cap occupancy at the client count, got {}",
+            s.mean_outstanding()
+        );
+    }
+
+    #[test]
+    fn flows_contend_in_a_shared_backend() {
+        // The same foreground flow, isolated vs alongside a background
+        // flow on one serializing bus: contention must raise its p99.
+        let run = |with_bg: bool| {
+            let mut sched = TrafficScheduler::new(3);
+            let fg = sched.add_flow(
+                FlowSpec::bound("fg", PortSpec::in_order("fg.port", 2, Duration::ZERO))
+                    .open_fixed(ns(100))
+                    .requests(200),
+            );
+            if with_bg {
+                sched.add_flow(
+                    FlowSpec::bound("bg", PortSpec::in_order("bg.port", 2, Duration::ZERO))
+                        .open_poisson(ns(60))
+                        .requests(200),
+                );
+            }
+            let mut bus_free = Time::ZERO;
+            let report = sched.run(|_, at| {
+                let start = bus_free.max(at);
+                bus_free = start + ns(40);
+                bus_free
+            });
+            report.flows[fg].tail().p99
+        };
+        let isolated = run(false);
+        let contended = run(true);
+        assert!(
+            contended > isolated,
+            "background load must inflate foreground p99 ({contended} <= {isolated})"
+        );
+    }
+
+    #[test]
+    fn zipfian_skews_toward_hot_lines() {
+        let mut sched = TrafficScheduler::new(4);
+        let f = sched.add_flow(
+            FlowSpec::bound("z", PortSpec::in_order("z.port", 8, Duration::ZERO))
+                .zipfian(0.99)
+                .over_lines(0, 1024)
+                .open_fixed(ns(10))
+                .requests(4000),
+        );
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        let report = sched.run(|op, at| {
+            total += 1;
+            if op.line < 16 {
+                hot += 1;
+            }
+            at + ns(5)
+        });
+        assert_eq!(report.flows[f].ops, 4000);
+        // With theta=0.99 the 16 hottest of 1024 lines draw far more than
+        // their uniform share (16/1024 ≈ 1.6%).
+        assert!(
+            hot * 10 > total,
+            "zipfian hot set underweighted: {hot}/{total}"
+        );
+    }
+
+    #[test]
+    fn sequential_pattern_walks_in_order() {
+        let mut sched = TrafficScheduler::new(5);
+        sched.add_flow(
+            FlowSpec::bound("s", PortSpec::in_order("s.port", 1, Duration::ZERO))
+                .sequential()
+                .over_lines(100, 8)
+                .open_fixed(ns(10))
+                .requests(20),
+        );
+        let mut seen = Vec::new();
+        sched.run(|op, at| {
+            seen.push(op.line);
+            at + ns(1)
+        });
+        let expect: Vec<u64> = (0..20).map(|i| 100 + i % 8).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn same_seed_replays_identically_and_seeds_differ() {
+        let run = |seed: u64| {
+            let mut sched = TrafficScheduler::new(seed);
+            sched.add_flow(
+                FlowSpec::bound("a", PortSpec::out_of_order("a.port", 4, Duration::ZERO))
+                    .open_poisson(ns(50))
+                    .over_lines(0, 256)
+                    .requests(300),
+            );
+            sched.add_flow(
+                FlowSpec::bound("b", PortSpec::in_order("b.port", 2, Duration::ZERO))
+                    .closed(2, ns(25))
+                    .zipfian(0.9)
+                    .over_lines(256, 256)
+                    .requests(300),
+            );
+            let mut bus_free = Time::ZERO;
+            let report = sched.run(|_, at| {
+                let start = bus_free.max(at);
+                bus_free = start + ns(11);
+                bus_free
+            });
+            (
+                report.flows[0].last_completion,
+                report.flows[0].tail(),
+                report.flows[1].last_completion,
+                report.flows[1].tail(),
+            )
+        };
+        assert_eq!(run(9), run(9), "same seed must replay identically");
+        assert_ne!(
+            run(9).0,
+            run(10).0,
+            "different seeds must shift the schedule"
+        );
+    }
+
+    #[test]
+    fn poisson_interarrivals_average_to_the_mean() {
+        let mut sched = TrafficScheduler::new(6);
+        let f = sched.add_flow(
+            FlowSpec::bound("p", PortSpec::out_of_order("p.port", 64, Duration::ZERO))
+                .open_poisson(ns(100))
+                .requests(2000),
+        );
+        let report = sched.run(|_, at| at + ns(1));
+        let s = &report.flows[f];
+        // 2000 arrivals at a 100 ns mean: the span concentrates around
+        // 200 us; 3-sigma for the sum is ~±6.7%.
+        let span_ns = s.elapsed().as_nanos_f64();
+        assert!(
+            (170_000.0..=230_000.0).contains(&span_ns),
+            "poisson span off: {span_ns} ns"
+        );
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_hottest() {
+        let z = ZipfState::new(64, 0.99);
+        let mut rng = SimRng::seed_from(11);
+        let mut counts = [0u64; 64];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[8]);
+        assert!(counts[8] > counts[63]);
+    }
+}

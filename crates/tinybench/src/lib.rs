@@ -13,6 +13,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod hist;
+
 use std::time::{Duration, Instant};
 
 /// The benchmark driver handed to `criterion_group!` functions.

@@ -4,6 +4,7 @@
 //! wraps. `CXL_SIM_THREADS=1` (or `run_with_threads(1, ..)`) is the
 //! reference serial execution the parallel paths are held against.
 
+use cxl_bench::duplex::run_duplex_with_threads;
 use cxl_bench::fig4::{run_fig4_with_threads, Fig4Row};
 use sim_core::sweep;
 use sim_core::time::Time;
@@ -47,6 +48,38 @@ fn fig4_sweep_is_byte_identical_across_thread_counts() {
     for threads in [2, 4, sweep::max_threads().max(3)] {
         let (rows_n, trace_n, dropped_n) = fig4_traced(threads);
         assert_rows_equal(&rows1, &rows_n, threads);
+        assert_eq!(trace1, trace_n, "trace JSONL diverged at {threads} threads");
+        assert_eq!(dropped1, dropped_n, "drop accounting at {threads} threads");
+    }
+}
+
+/// The duplex-contention sweep runs two traffic flows (open-loop H2D
+/// stores plus Poisson D2H+D2D ingest) through one port engine per
+/// point; its spliced flow-op/protocol trace and every tail statistic
+/// must not depend on the thread count.
+#[test]
+fn duplex_sweep_is_byte_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        trace::install(TRACE_CAPACITY);
+        let rows = run_duplex_with_threads(threads, 200, 200, 42);
+        let (events, dropped) = trace::take_captured();
+        (rows, trace::to_jsonl(&events), dropped)
+    };
+    let (rows1, trace1, dropped1) = run(1);
+    assert!(
+        trace1.contains("\"kind\":\"flow-op\""),
+        "duplex emits flow-op trace events"
+    );
+    for threads in [2, 4] {
+        let (rows_n, trace_n, dropped_n) = run(threads);
+        assert_eq!(rows1.len(), rows_n.len());
+        for (a, b) in rows1.iter().zip(&rows_n) {
+            assert_eq!(bits(a.bg_load), bits(b.bg_load), "threads={threads}");
+            assert_eq!(a.isolated, b.isolated, "threads={threads}");
+            assert_eq!(a.contended, b.contended, "threads={threads}");
+            assert_eq!(bits(a.bg_gbps), bits(b.bg_gbps), "threads={threads}");
+            assert_eq!(a.slice_stalls, b.slice_stalls, "threads={threads}");
+        }
         assert_eq!(trace1, trace_n, "trace JSONL diverged at {threads} threads");
         assert_eq!(dropped1, dropped_n, "drop accounting at {threads} threads");
     }

@@ -95,7 +95,7 @@ fn pick<T: Copy + 'static>(opts: &'static [T]) -> impl Strategy<Value = T> {
 }
 
 /// One literal of every [`TraceEvent`] variant — keeps full variant
-/// coverage deterministic rather than hoping random sampling hits all 22.
+/// coverage deterministic rather than hoping random sampling hits all 23.
 fn one_of_each() -> Vec<TraceEvent> {
     vec![
         TraceEvent::Request {
@@ -180,6 +180,11 @@ fn one_of_each() -> Vec<TraceEvent> {
             server: 1,
             key: 13,
         },
+        TraceEvent::FlowOp {
+            flow: 2,
+            line: 14,
+            sojourn_ps: 87_500,
+        },
         TraceEvent::SpanBegin {
             name: "zswap.store",
         },
@@ -247,6 +252,13 @@ fn event_strategy() -> impl Strategy<Value = TraceEvent> {
             .prop_map(|(step, page, aux)| TraceEvent::Ksm { step, page, aux }),
         (pick(KVS_STEPS), any::<u32>(), any::<u64>())
             .prop_map(|(step, server, key)| TraceEvent::Kvs { step, server, key }),
+        (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(flow, line, sojourn_ps)| {
+            TraceEvent::FlowOp {
+                flow,
+                line,
+                sojourn_ps,
+            }
+        }),
         pick(SPAN_NAMES).prop_map(|name| TraceEvent::SpanBegin { name }),
         (pick(SPAN_NAMES), any::<u64>())
             .prop_map(|(name, elapsed_ps)| TraceEvent::SpanEnd { name, elapsed_ps }),
