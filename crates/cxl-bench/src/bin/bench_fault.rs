@@ -1,0 +1,133 @@
+//! Wall-clock and quality harness for the reliability sweep. Emits a
+//! machine-readable [`BenchReport`] (`BENCH_fault.json` is the committed
+//! baseline) and, with `--check`, fails when a tracked scenario
+//! regresses beyond tolerance.
+//!
+//! Usage:
+//!   bench_fault [--out PATH] [--check BASELINE] [--tolerance FRAC]
+//!
+//! Tracked figures are all lower-is-better: wall nanoseconds of the
+//! sweep, per-BER tail latencies (p999 of the pointer-chase and of the
+//! duplex foreground, in ns), and per-BER `ns_per_good_mb` — the wall
+//! time the traffic scenario needs to move one good megabyte, the
+//! inverse of goodput, so a goodput collapse trips the regression check
+//! the same way a latency blow-up does. `*_speedup_4t` entries are
+//! informational and never regression-checked.
+
+use std::time::Instant;
+
+use criterion::report::BenchReport;
+use cxl_bench::fault::{ber_label, run_fault_with_threads};
+
+const REQUESTS: u64 = 1200;
+const SEED: u64 = 42;
+
+/// Min wall time of `runs` calls of `f`, in nanoseconds.
+fn time_min(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next(),
+            "--check" => check_path = args.next(),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance FRAC");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_fault [--out PATH] [--check BASELINE] [--tolerance FRAC]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = BenchReport::new();
+
+    println!("== reliability sweep (7 BER points, {REQUESTS} requests/workload) ==");
+    let serial = time_min(3, || {
+        std::hint::black_box(run_fault_with_threads(1, REQUESTS, SEED));
+    });
+    report.record("fault_sweep_serial", serial);
+    println!("  serial                   {:>12.0} ns", serial);
+    let par4 = time_min(3, || {
+        std::hint::black_box(run_fault_with_threads(4, REQUESTS, SEED));
+    });
+    report.record("fault_sweep_4t", par4);
+    let speedup = serial / par4;
+    report.record("fault_sweep_speedup_4t", speedup);
+    println!(
+        "  4 threads                {:>12.0} ns   ({speedup:.2}x)",
+        par4
+    );
+
+    // Simulated-quality figures: deterministic, so any change is a real
+    // model change, not noise.
+    let rows = run_fault_with_threads(1, REQUESTS, SEED);
+    println!("  per-BER quality figures (simulated, deterministic):");
+    for r in &rows {
+        let label = ber_label(r.ber);
+        let chase_p999_ns = r.chase.p999 as f64 / 1e3;
+        let fg_p999_ns = r.fg.p999 as f64 / 1e3;
+        report.record(&format!("fault_chase_p999_ber{label}"), chase_p999_ns);
+        report.record(&format!("fault_fg_p999_ber{label}"), fg_p999_ns);
+        if r.goodput_gbps > 0.0 {
+            report.record(
+                &format!("fault_ns_per_good_mb_ber{label}"),
+                1e6 / r.goodput_gbps,
+            );
+        }
+        println!(
+            "    ber {label:>5}: chase-p999 {chase_p999_ns:>9.1} ns   fg-p999 {fg_p999_ns:>9.1} ns   goodput {:>7.3} GB/s",
+            r.goodput_gbps
+        );
+    }
+
+    if let Some(path) = &out_path {
+        std::fs::write(path, report.to_json()).expect("write report");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let baseline_json = std::fs::read_to_string(path).expect("read baseline");
+        let baseline = BenchReport::from_json(&baseline_json).expect("parse baseline");
+        let regs = report.regressions(&baseline, tolerance);
+        if regs.is_empty() {
+            println!(
+                "baseline check: ok ({} tracked scenarios within {:.0}%)",
+                baseline
+                    .scenarios
+                    .iter()
+                    .filter(|s| !s.name.contains("speedup"))
+                    .count(),
+                tolerance * 100.0
+            );
+        } else {
+            for r in &regs {
+                eprintln!(
+                    "REGRESSION {}: {:.0} ns -> {:.0} ns ({:.2}x, tolerance {:.0}%)",
+                    r.name,
+                    r.baseline_ns,
+                    r.current_ns,
+                    r.ratio,
+                    tolerance * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}

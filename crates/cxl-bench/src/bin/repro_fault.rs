@@ -1,0 +1,41 @@
+//! Regenerates the reliability sweep (pointer-chase latency and duplex
+//! goodput versus link BER, with LRSM replays, slice timeouts, and
+//! poison surfacing). Accepts `--trace-out <path>` to export the run's
+//! protocol-and-fault trace, and an optional `--ber RATE` to print one
+//! severity point of the ladder instead of all of them (the sweep still
+//! runs every point — the selection only filters the output).
+
+use cxl_bench::fault::{print_fault, run_fault};
+use cxl_bench::traceopt::TraceOut;
+
+fn main() {
+    let (mut args, trace_out) = TraceOut::from_env();
+    let mut only_ber: Option<f64> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--ber") {
+        args.remove(pos);
+        only_ber = Some(
+            args.get(pos)
+                .and_then(|s| s.parse().ok())
+                .expect("--ber RATE"),
+        );
+        args.remove(pos);
+    }
+    let requests = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(2000);
+
+    let rows = run_fault(requests, 42);
+    match only_ber {
+        None => print_fault(&rows),
+        Some(ber) => {
+            let row = rows
+                .iter()
+                .find(|r| r.ber == ber)
+                .expect("--ber must name a swept point");
+            print_fault(std::slice::from_ref(row));
+        }
+    }
+    trace_out.finish();
+}

@@ -18,12 +18,14 @@
 //! | Fig. 8 (tail latency) | [`fig8run`] | `repro_fig8` |
 //! | Design ablations | [`ablations`] | `repro_ablations` |
 //! | Duplex H2D/D2H contention | [`duplex`] | `repro_duplex` |
+//! | Reliability vs link BER | [`fault`] | `repro_fault` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
 pub mod duplex;
+pub mod fault;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -142,12 +142,28 @@ impl std::error::Error for FlitError {}
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
     slots: [Slot; 4],
+    poisoned: bool,
 }
 
 impl Flit {
-    /// Builds a flit from four slots.
+    /// Builds a flit from four slots (not poisoned).
     pub fn new(slots: [Slot; 4]) -> Self {
-        Flit { slots }
+        Flit {
+            slots,
+            poisoned: false,
+        }
+    }
+
+    /// Marks the flit's data as poisoned (the CXL poison bit: data is
+    /// known-corrupt at the source and must not be silently consumed).
+    pub fn with_poison(mut self) -> Self {
+        self.poisoned = true;
+        self
+    }
+
+    /// True if the poison bit is set.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// The slots.
@@ -228,7 +244,10 @@ impl Flit {
             fmt |= (kind as u8) << (2 * i);
         }
         out[0] = fmt;
-        // Byte 1: reserved header byte (credits/ak in the real format).
+        // Byte 1: header metadata — bit 0 carries the poison bit, the
+        // rest is reserved (credits/ak in the real format). The CRC
+        // covers this byte, so poison survives link corruption checks.
+        out[1] = u8::from(self.poisoned);
         for (i, slot) in self.slots.iter().enumerate() {
             let start = 2 + i * SLOT_BYTES;
             Self::encode_slot(slot, &mut out[start..start + SLOT_BYTES]);
@@ -257,7 +276,10 @@ impl Flit {
             let start = 2 + i * SLOT_BYTES;
             *slot = Self::decode_slot(kind, &wire[start..start + SLOT_BYTES])?;
         }
-        Ok(Flit { slots })
+        Ok(Flit {
+            slots,
+            poisoned: wire[1] & 1 != 0,
+        })
     }
 
     /// Packs a 64-byte cache line plus its request into flits: one request
@@ -350,6 +372,21 @@ mod tests {
         // Wire cost: 136 bytes for 64 B payload + request (the flit-level
         // efficiency the link model's header overhead approximates).
         assert_eq!(flits.len() * FLIT_BYTES, 136);
+    }
+
+    #[test]
+    fn poison_bit_roundtrips_and_is_crc_covered() {
+        let clean = Flit::new([Slot::Data([7; 16]), Slot::Empty, Slot::Empty, Slot::Empty]);
+        let poisoned = clean.with_poison();
+        assert!(!clean.poisoned());
+        assert!(poisoned.poisoned());
+        assert_eq!(Flit::decode(&poisoned.encode()).unwrap(), poisoned);
+        assert_ne!(clean.encode(), poisoned.encode());
+        // Flipping the poison bit on the wire must trip the CRC — poison
+        // cannot be silently gained or lost to link corruption.
+        let mut wire = clean.encode();
+        wire[1] ^= 1;
+        assert!(matches!(Flit::decode(&wire), Err(FlitError::BadCrc { .. })));
     }
 
     #[test]

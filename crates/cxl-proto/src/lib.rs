@@ -28,6 +28,7 @@ pub mod dvsec;
 pub mod flit;
 pub mod link;
 pub mod request;
+pub mod retry;
 
 /// Common protocol types in one import.
 pub mod prelude {
@@ -36,7 +37,10 @@ pub mod prelude {
     pub use crate::dvsec::{enumerate, CxlDvsec, Enumeration};
     pub use crate::flit::{Flit, FlitError, Slot, FLIT_BYTES};
     pub use crate::link::{cxl_x16, pcie5_x16, pcie5_x32, upi, Link};
-    pub use crate::request::{AccessKind, CacheHint, D2hOpcode, H2dSnoop, M2sOpcode, RequestType};
+    pub use crate::request::{
+        AccessKind, CacheHint, D2hOpcode, H2dSnoop, M2sOpcode, RasMeta, RequestType,
+    };
+    pub use crate::retry::{deliver_stream, ReplayOutcome, RetryConfig, RetryLink};
 }
 
 pub use prelude::*;

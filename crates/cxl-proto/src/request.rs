@@ -199,6 +199,61 @@ impl fmt::Display for D2hOpcode {
     }
 }
 
+/// RAS metadata riding on a completion: the CXL poison and viral bits.
+///
+/// Poison marks one completion's data as known-corrupt without killing
+/// the link; viral is the containment escalation — the whole device has
+/// entered an error state and every subsequent response advertises it.
+///
+/// # Examples
+///
+/// ```
+/// use cxl_proto::request::RasMeta;
+///
+/// let meta = RasMeta::CLEAN.with_poison();
+/// assert!(meta.poison && !meta.viral && !meta.is_clean());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RasMeta {
+    /// The data carried with this completion is known-corrupt.
+    pub poison: bool,
+    /// The responder is in viral (global containment) state.
+    pub viral: bool,
+}
+
+impl RasMeta {
+    /// The healthy completion: no poison, no viral.
+    pub const CLEAN: RasMeta = RasMeta {
+        poison: false,
+        viral: false,
+    };
+
+    /// Sets the poison bit.
+    pub fn with_poison(mut self) -> Self {
+        self.poison = true;
+        self
+    }
+
+    /// Sets the viral bit.
+    pub fn with_viral(mut self) -> Self {
+        self.viral = true;
+        self
+    }
+
+    /// True when neither bit is set.
+    pub fn is_clean(self) -> bool {
+        !self.poison && !self.viral
+    }
+
+    /// Merges two metadata words (either side's error sticks).
+    pub fn merge(self, other: RasMeta) -> RasMeta {
+        RasMeta {
+            poison: self.poison || other.poison,
+            viral: self.viral || other.viral,
+        }
+    }
+}
+
 /// CXL.cache host-to-device snoop opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum H2dSnoop {

@@ -4,8 +4,10 @@ use cxl_proto::bias::{BiasMode, BiasTable};
 use cxl_proto::flit::{Flit, Slot, FLIT_BYTES};
 use cxl_proto::link::Link;
 use cxl_proto::request::D2hOpcode;
+use cxl_proto::retry::{deliver_stream, RetryConfig};
 use proptest::prelude::*;
 use sim_core::time::{Duration, Time};
+use std::collections::HashSet;
 
 fn slot_strategy() -> impl Strategy<Value = Slot> {
     prop_oneof![
@@ -81,6 +83,46 @@ proptest! {
             prop_assert!(arrival >= last_arrival, "FIFO delivery");
             last_arrival = arrival;
         }
+    }
+
+    /// LRSM replay is transparent: for ANY corruption pattern the
+    /// receiver's delivered stream equals the sent stream — in order,
+    /// loss-free, duplicate-free — as long as no flit dies for good.
+    #[test]
+    fn lrsm_replay_is_in_order_loss_free_duplicate_free(
+        flits in 1u64..80,
+        depth in 1u64..24,
+        corruptions in proptest::collection::vec((0u64..80, 1u32..4), 0..40),
+    ) {
+        let cfg = RetryConfig {
+            buffer_depth: depth,
+            // Each (seq, attempt) pair can corrupt at most once per
+            // attempt index < 4, so 8 replays always suffice.
+            max_replays: 8,
+            ..RetryConfig::default()
+        };
+        let bad: HashSet<(u64, u32)> = corruptions.into_iter().collect();
+        let out = deliver_stream(flits, &cfg, |seq, attempt| bad.contains(&(seq, attempt)));
+        prop_assert_eq!(out.failed, None);
+        prop_assert_eq!(out.delivered, (0..flits).collect::<Vec<u64>>());
+        // Conservation: every transmission is a delivery, a ghost, or a
+        // corrupt attempt that triggered one of the replays.
+        prop_assert_eq!(out.transmissions, flits + out.ghost_flits + out.replays);
+    }
+
+    /// A flit corrupted on every attempt kills the stream at exactly
+    /// that flit, after exactly max_replays rewinds for it.
+    #[test]
+    fn lrsm_gives_up_at_the_dead_flit(
+        flits in 2u64..40,
+        dead in 0u64..40,
+        max_replays in 1u32..6,
+    ) {
+        let dead = dead % flits;
+        let cfg = RetryConfig { max_replays, ..RetryConfig::default() };
+        let out = deliver_stream(flits, &cfg, |seq, _| seq == dead);
+        prop_assert_eq!(out.failed, Some(dead));
+        prop_assert_eq!(out.delivered, (0..dead).collect::<Vec<u64>>());
     }
 
     /// Bias-table state machine: after any interleaving of switches and

@@ -44,6 +44,7 @@ pub mod device;
 pub mod lsu;
 pub mod occupancy;
 pub mod platform;
+pub mod reliability;
 pub mod timing;
 pub mod transfer;
 
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use crate::lsu::{BurstTarget, Lsu};
     pub use crate::occupancy::SliceOccupancy;
     pub use crate::platform::Platform;
+    pub use crate::reliability::{SliceTimeouts, TimeoutPolicy};
     pub use crate::timing::DeviceTiming;
 }
 

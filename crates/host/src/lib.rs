@@ -38,6 +38,7 @@ pub mod config;
 pub mod dsa;
 pub mod hierarchy;
 pub mod numa;
+pub mod poison;
 pub mod socket;
 pub mod timing;
 
@@ -47,6 +48,7 @@ pub mod prelude {
     pub use crate::dsa::DsaEngine;
     pub use crate::hierarchy::{CacheHierarchy, HitLevel};
     pub use crate::numa::NumaSystem;
+    pub use crate::poison::PoisonSet;
     pub use crate::socket::{Access, HomeAccess, SnoopResult, Socket};
     pub use crate::timing::HostTiming;
 }

@@ -1,0 +1,475 @@
+//! Deterministic fault-injection plans — the reliability subsystem's
+//! substrate.
+//!
+//! Real CXL Type-2 deployments live or die by the reliability machinery
+//! the paper assumes away: flit CRC + link retry, poison propagation,
+//! and host fallback when the device misbehaves. This module supplies
+//! the *fault side* of that story as data, not behaviour: a
+//! [`FaultPlan`] binds fault processes — fixed-BER flit corruption,
+//! burst link-down windows, per-port stall/timeout, poisoned-line
+//! injection — to **named injection points**, and each consumer crate
+//! derives an [`Injector`] for the points it registers
+//! (`"link.cxl"`, `"dcoh.slice"`, `"zswap.offload"`, …).
+//!
+//! Determinism is the design constraint everything bends around:
+//!
+//! * Each injector's RNG is derived as
+//!   `splitmix64(plan_seed ^ fnv1a(point_name))`, so the decision stream
+//!   at a point depends only on the plan seed and the point name —
+//!   never on the order injectors are created or which thread runs the
+//!   sweep point. Seed the plan from [`crate::sweep::point_seed`] and
+//!   fault-event traces are byte-identical at any thread count.
+//! * A point with no bound process of the queried kind answers without
+//!   consuming a single RNG draw, and a [`FaultPlan::disabled`] plan
+//!   yields inert injectors — runs with faults off are byte-identical
+//!   to runs built before this module existed.
+//!
+//! Every fired fault emits [`TraceEvent::FaultInject`] so golden-trace
+//! tooling sees injections in the same stream as protocol events.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::fault::{FaultPlan, FaultProcess};
+//! use sim_core::time::Time;
+//!
+//! let plan = FaultPlan::new(7).with("link.cxl", FaultProcess::bit_error(1e-6));
+//! let mut inj = plan.injector("link.cxl");
+//! let mut hits = 0;
+//! for _ in 0..100_000 {
+//!     if inj.corrupt_flit(Time::ZERO, 544) {
+//!         hits += 1;
+//!     }
+//! }
+//! assert!(hits > 0, "544-bit flits at 1e-6 BER corrupt sometimes");
+//! let silent = plan.injector("other.point");
+//! assert!(!silent.enabled());
+//! ```
+
+use crate::rng::{splitmix64, SimRng};
+use crate::time::{Duration, Time};
+use crate::trace::{self, FaultKind, TraceEvent};
+
+/// One fault process, bindable to a named injection point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultProcess {
+    /// Fixed bit-error rate: each transferred bit flips independently
+    /// with probability `ber`; a unit (flit) is corrupt if any of its
+    /// bits flipped.
+    BitError {
+        /// Per-bit error probability.
+        ber: f64,
+    },
+    /// Burst link-down windows: every `period`, the link is dead for
+    /// `down` (window phase drawn once from the point's RNG).
+    LinkDown {
+        /// Window repetition period.
+        period: Duration,
+        /// Dead time per window.
+        down: Duration,
+    },
+    /// Per-op stall: with probability `probability`, an op is delayed by
+    /// `delay` (pushing it past a consumer's timeout deadline).
+    Stall {
+        /// Per-op stall probability.
+        probability: f64,
+        /// Added delay when stalled.
+        delay: Duration,
+    },
+    /// Poisoned-line injection: with probability `probability`, a line
+    /// is marked poisoned at its home.
+    Poison {
+        /// Per-line poison probability.
+        probability: f64,
+    },
+}
+
+impl FaultProcess {
+    /// Fixed-BER flit corruption.
+    pub fn bit_error(ber: f64) -> Self {
+        assert!((0.0..1.0).contains(&ber), "ber must be in [0, 1)");
+        FaultProcess::BitError { ber }
+    }
+
+    /// Burst link-down windows.
+    pub fn link_down(period: Duration, down: Duration) -> Self {
+        assert!(down.as_picos() < period.as_picos(), "down must fit period");
+        FaultProcess::LinkDown { period, down }
+    }
+
+    /// Per-op stall of `delay` with probability `probability`.
+    pub fn stall(probability: f64, delay: Duration) -> Self {
+        assert!((0.0..=1.0).contains(&probability));
+        FaultProcess::Stall { probability, delay }
+    }
+
+    /// Poisoned-line injection with probability `probability`.
+    pub fn poison(probability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&probability));
+        FaultProcess::Poison { probability }
+    }
+
+    /// The trace-event kind this process fires as.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            FaultProcess::BitError { .. } => FaultKind::FlitCorrupt,
+            FaultProcess::LinkDown { .. } => FaultKind::LinkDown,
+            FaultProcess::Stall { .. } => FaultKind::PortStall,
+            FaultProcess::Poison { .. } => FaultKind::Poison,
+        }
+    }
+}
+
+/// A seeded plan binding fault processes to named injection points.
+///
+/// Cheap to build per sweep point; seed it from
+/// [`crate::sweep::point_seed`] so parallel sweeps stay byte-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    bindings: Vec<(&'static str, FaultProcess)>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed; bind processes with
+    /// [`FaultPlan::with`].
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            bindings: Vec::new(),
+        }
+    }
+
+    /// The all-healthy plan: every injector it yields is inert.
+    pub fn disabled() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Binds `process` to the injection point `point` (builder-style;
+    /// a point may carry several processes).
+    pub fn with(mut self, point: &'static str, process: FaultProcess) -> Self {
+        self.bindings.push((point, process));
+        self
+    }
+
+    /// True if no fault process is bound anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives the injector for `point`: its RNG depends only on the
+    /// plan seed and the point name, so creation order is irrelevant.
+    pub fn injector(&self, point: &'static str) -> Injector {
+        let processes: Vec<FaultProcess> = self
+            .bindings
+            .iter()
+            .filter(|(p, _)| *p == point)
+            .map(|(_, proc)| *proc)
+            .collect();
+        Injector::new(point, self.seed, processes)
+    }
+}
+
+/// FNV-1a over the point name: stable, order-free point → seed mixing.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The per-point stateful fault handle a consumer owns.
+///
+/// Querying a fault kind with no bound process returns immediately
+/// without consuming RNG draws — a disabled injector is behaviourally
+/// invisible.
+#[derive(Debug, Clone)]
+pub struct Injector {
+    point: &'static str,
+    rng: SimRng,
+    processes: Vec<FaultProcess>,
+    /// Phase offset of link-down windows, drawn once if a LinkDown
+    /// process is bound.
+    down_phase: u64,
+    fired: [u64; 4],
+}
+
+impl Injector {
+    fn new(point: &'static str, seed: u64, processes: Vec<FaultProcess>) -> Self {
+        let (_, derived) = splitmix64(seed ^ fnv1a(point));
+        let mut rng = SimRng::seed_from(derived);
+        // Draw the window phase only when a LinkDown process exists so
+        // plans without one leave the decision stream untouched.
+        let down_phase = processes
+            .iter()
+            .find_map(|p| match p {
+                FaultProcess::LinkDown { period, .. } => Some(rng.gen_range(period.as_picos())),
+                _ => None,
+            })
+            .unwrap_or(0);
+        Injector {
+            point,
+            rng,
+            processes,
+            down_phase,
+            fired: [0; 4],
+        }
+    }
+
+    /// An inert injector (no plan): every query answers "healthy".
+    pub fn none(point: &'static str) -> Self {
+        Injector::new(point, 0, Vec::new())
+    }
+
+    /// The injection-point name this injector serves.
+    pub fn point(&self) -> &'static str {
+        self.point
+    }
+
+    /// True if any fault process is bound to this point.
+    pub fn enabled(&self) -> bool {
+        !self.processes.is_empty()
+    }
+
+    fn has_kind(&self, kind: FaultKind) -> bool {
+        self.processes.iter().any(|p| p.kind() == kind)
+    }
+
+    fn record(&mut self, at: Time, kind: FaultKind) {
+        self.fired[kind_index(kind)] += 1;
+        trace::emit(
+            at,
+            TraceEvent::FaultInject {
+                point: self.point,
+                kind,
+            },
+        );
+    }
+
+    /// Times the given fault kind has fired at this point.
+    pub fn fired(&self, kind: FaultKind) -> u64 {
+        self.fired[kind_index(kind)]
+    }
+
+    /// Total faults fired at this point, all kinds.
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().sum()
+    }
+
+    /// Draws whether a `bits`-wide unit transferred at `at` is corrupt
+    /// under the bound BER process. No process → `false`, no draw.
+    pub fn corrupt_flit(&mut self, at: Time, bits: u32) -> bool {
+        if !self.has_kind(FaultKind::FlitCorrupt) {
+            return false;
+        }
+        let p_unit = self
+            .processes
+            .iter()
+            .filter_map(|p| match p {
+                FaultProcess::BitError { ber } => Some(1.0 - (1.0 - ber).powi(bits as i32)),
+                _ => None,
+            })
+            .fold(0.0f64, |acc, p| acc + p - acc * p);
+        let hit = self.rng.gen_bool(p_unit);
+        if hit {
+            self.record(at, FaultKind::FlitCorrupt);
+        }
+        hit
+    }
+
+    /// If `at` falls inside a link-down window, returns the window's end
+    /// time (delivery must wait until then). No process → `None`, no
+    /// draw.
+    pub fn down_until(&mut self, at: Time) -> Option<Time> {
+        let (period, down) = self.processes.iter().find_map(|p| match p {
+            FaultProcess::LinkDown { period, down } => Some((period.as_picos(), down.as_picos())),
+            _ => None,
+        })?;
+        let since = at.duration_since(Time::ZERO).as_picos();
+        let into_window = (since + period - self.down_phase % period) % period;
+        if into_window < down {
+            self.record(at, FaultKind::LinkDown);
+            Some(at + Duration::from_picos(down - into_window))
+        } else {
+            None
+        }
+    }
+
+    /// Draws whether an op issued at `at` stalls, returning the added
+    /// delay. No process → `None`, no draw.
+    pub fn stall(&mut self, at: Time) -> Option<Duration> {
+        if !self.has_kind(FaultKind::PortStall) {
+            return None;
+        }
+        let mut delay: Option<Duration> = None;
+        for p in self.processes.clone() {
+            if let FaultProcess::Stall {
+                probability,
+                delay: d,
+            } = p
+            {
+                if self.rng.gen_bool(probability) {
+                    let cur = delay.map_or(0, |d| d.as_picos());
+                    delay = Some(Duration::from_picos(cur.max(d.as_picos())));
+                }
+            }
+        }
+        if delay.is_some() {
+            self.record(at, FaultKind::PortStall);
+        }
+        delay
+    }
+
+    /// Draws whether a line written at `at` is poisoned. No process →
+    /// `false`, no draw.
+    pub fn poison_line(&mut self, at: Time) -> bool {
+        if !self.has_kind(FaultKind::Poison) {
+            return false;
+        }
+        let mut hit = false;
+        for p in self.processes.clone() {
+            if let FaultProcess::Poison { probability } = p {
+                hit |= self.rng.gen_bool(probability);
+            }
+        }
+        if hit {
+            self.record(at, FaultKind::Poison);
+        }
+        hit
+    }
+}
+
+fn kind_index(kind: FaultKind) -> usize {
+    match kind {
+        FaultKind::FlitCorrupt => 0,
+        FaultKind::LinkDown => 1,
+        FaultKind::PortStall => 2,
+        FaultKind::Poison => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ns: u64) -> Time {
+        Time::ZERO + Duration::from_nanos(ns)
+    }
+
+    #[test]
+    fn injector_depends_only_on_seed_and_point_name() {
+        let plan_a = FaultPlan::new(42)
+            .with("link.cxl", FaultProcess::bit_error(1e-4))
+            .with(
+                "dcoh.slice",
+                FaultProcess::stall(0.5, Duration::from_nanos(100)),
+            );
+        // Same seed, different binding order and extra unrelated points.
+        let plan_b = FaultPlan::new(42)
+            .with(
+                "dcoh.slice",
+                FaultProcess::stall(0.5, Duration::from_nanos(100)),
+            )
+            .with("zswap.offload", FaultProcess::poison(0.1))
+            .with("link.cxl", FaultProcess::bit_error(1e-4));
+
+        // Creating injectors in different orders must not change draws.
+        let mut link_b = plan_b.injector("link.cxl");
+        let _ = plan_b.injector("zswap.offload");
+        let mut link_a = plan_a.injector("link.cxl");
+        let draws_a: Vec<bool> = (0..256).map(|i| link_a.corrupt_flit(at(i), 544)).collect();
+        let draws_b: Vec<bool> = (0..256).map(|i| link_b.corrupt_flit(at(i), 544)).collect();
+        assert_eq!(draws_a, draws_b);
+        assert!(draws_a.iter().any(|&c| c), "1e-4 BER over 544 bits fires");
+    }
+
+    #[test]
+    fn unbound_kind_consumes_no_draws() {
+        let plan = FaultPlan::new(9).with("p", FaultProcess::bit_error(0.5));
+        let mut with_queries = plan.injector("p");
+        let mut without_queries = plan.injector("p");
+        // Interleave no-op queries on one injector only.
+        let mut a = Vec::new();
+        for i in 0..64 {
+            assert_eq!(with_queries.stall(at(i)), None);
+            assert!(!with_queries.poison_line(at(i)));
+            assert_eq!(with_queries.down_until(at(i)), None);
+            a.push(with_queries.corrupt_flit(at(i), 16));
+        }
+        let b: Vec<bool> = (0..64)
+            .map(|i| without_queries.corrupt_flit(at(i), 16))
+            .collect();
+        assert_eq!(a, b, "unbound queries must not advance the RNG");
+    }
+
+    #[test]
+    fn disabled_plan_is_inert() {
+        let mut inj = FaultPlan::disabled().injector("anything");
+        assert!(!inj.enabled());
+        assert!(!inj.corrupt_flit(at(0), 544));
+        assert_eq!(inj.down_until(at(0)), None);
+        assert_eq!(inj.stall(at(0)), None);
+        assert!(!inj.poison_line(at(0)));
+        assert_eq!(inj.total_fired(), 0);
+    }
+
+    #[test]
+    fn link_down_windows_repeat_with_period() {
+        let period = Duration::from_nanos(1000);
+        let down = Duration::from_nanos(100);
+        let plan = FaultPlan::new(3).with("l", FaultProcess::link_down(period, down));
+        let mut inj = plan.injector("l");
+        let mut down_ns = 0u64;
+        for ns in 0..10_000u64 {
+            if let Some(until) = inj.down_until(at(ns)) {
+                assert!(until > at(ns));
+                assert!(until.duration_since(at(ns)).as_picos() <= down.as_picos());
+                down_ns += 1;
+            }
+        }
+        // 10 windows x 100 ns, sampled at 1 ns — allow the partial edge
+        // windows at either end of the sampled range.
+        assert!((900..=1000).contains(&down_ns), "down for {down_ns} ns");
+    }
+
+    #[test]
+    fn stall_returns_bound_delay() {
+        let plan = FaultPlan::new(5).with("s", FaultProcess::stall(1.0, Duration::from_nanos(250)));
+        let mut inj = plan.injector("s");
+        assert_eq!(inj.stall(at(1)), Some(Duration::from_nanos(250)));
+        assert_eq!(inj.fired(FaultKind::PortStall), 1);
+    }
+
+    #[test]
+    fn fired_faults_emit_trace_events() {
+        trace::install(64);
+        let plan = FaultPlan::new(5).with("s", FaultProcess::poison(1.0));
+        let mut inj = plan.injector("s");
+        assert!(inj.poison_line(at(2)));
+        let events = trace::uninstall();
+        assert_eq!(
+            events[0].event,
+            TraceEvent::FaultInject {
+                point: "s",
+                kind: FaultKind::Poison
+            }
+        );
+    }
+
+    #[test]
+    fn zero_ber_never_fires_but_still_draws_consistently() {
+        let plan = FaultPlan::new(11).with("l", FaultProcess::bit_error(0.0));
+        let mut inj = plan.injector("l");
+        for i in 0..1000 {
+            assert!(!inj.corrupt_flit(at(i), 544));
+        }
+        assert_eq!(inj.total_fired(), 0);
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod port;
 pub mod rng;
 pub mod stats;
@@ -35,7 +36,8 @@ pub mod traffic;
 /// Convenient glob-import of the most common simulation types.
 pub mod prelude {
     pub use crate::event::EventQueue;
-    pub use crate::port::{Admission, Completion, PortEngine, PortId, PortSpec, TxnId};
+    pub use crate::fault::{FaultPlan, FaultProcess, Injector};
+    pub use crate::port::{Admission, Completion, OpOutcome, PortEngine, PortId, PortSpec, TxnId};
     pub use crate::rng::SimRng;
     pub use crate::stats::{bandwidth_gbps, Histogram, Samples, Summary};
     pub use crate::time::{ClockDomain, Cycles, Duration, Time, DEVICE_CLOCK, HOST_CLOCK};

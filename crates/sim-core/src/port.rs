@@ -114,6 +114,32 @@ impl PortSpec {
     }
 }
 
+/// Reliability classification of one completed transaction, as reported
+/// by an outcome-aware backend ([`PortEngine::run_reactive_with_outcomes`]).
+///
+/// Plain backends ([`PortEngine::run`] / [`PortEngine::run_reactive`])
+/// report every completion as [`OpOutcome::Clean`], which keeps the
+/// fault-free paths byte-identical to their pre-reliability behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum OpOutcome {
+    /// Completed on the first attempt, no reliability machinery involved.
+    #[default]
+    Clean,
+    /// Completed, but only after link retries and/or timeout re-issues.
+    Retried,
+    /// Gave up: retries exhausted, deadline blown, or data poisoned. The
+    /// completion time is when the failure was declared to the issuer.
+    Failed,
+}
+
+impl OpOutcome {
+    /// Merges two outcomes, keeping the worse one
+    /// (`Failed > Retried > Clean`).
+    pub fn worst(self, other: OpOutcome) -> OpOutcome {
+        self.max(other)
+    }
+}
+
 /// One finished transaction, as reported by [`PortEngine::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion<P> {
@@ -127,6 +153,9 @@ pub struct Completion<P> {
     pub issued: Time,
     /// When the backend completed it.
     pub completed: Time,
+    /// Reliability classification (always [`OpOutcome::Clean`] for
+    /// backends that do not report outcomes).
+    pub outcome: OpOutcome,
 }
 
 #[derive(Debug, Clone)]
@@ -136,6 +165,7 @@ struct TxnSlot<P> {
     payload: P,
     issued: Option<Time>,
     completed: Option<Time>,
+    outcome: OpOutcome,
 }
 
 #[derive(Debug, Clone)]
@@ -259,6 +289,7 @@ impl<P> PortEngine<P> {
             payload,
             issued: None,
             completed: None,
+            outcome: OpOutcome::Clean,
         });
         self.ports[port].pending.push_back(idx);
         TxnId(idx as u64)
@@ -305,6 +336,33 @@ impl<P> PortEngine<P> {
     pub fn run_reactive(
         &mut self,
         mut backend: impl FnMut(TxnId, &P, Time) -> Time,
+        on_complete: impl FnMut(&Completion<P>) -> Vec<(PortId, Time, P)>,
+    ) -> Vec<Completion<P>>
+    where
+        P: Clone,
+    {
+        self.run_reactive_with_outcomes(
+            |id, p, t| (backend(id, p, t), OpOutcome::Clean),
+            on_complete,
+        )
+    }
+
+    /// [`run_reactive`](Self::run_reactive) with an outcome-aware backend:
+    /// alongside each completion time the backend classifies the op as
+    /// clean, retried, or failed, and the classification is carried on the
+    /// [`Completion`]. This is how retry-aware layers (link LRSM wrappers,
+    /// DCOH timeouts) report partial failure without changing the engine's
+    /// scheduling behaviour — a failed op still occupies its port slot
+    /// until its declared completion time, exactly like a real transaction
+    /// that burned the window before erroring out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend reports a completion before the issue time,
+    /// or if a follow-up names an unknown port.
+    pub fn run_reactive_with_outcomes(
+        &mut self,
+        mut backend: impl FnMut(TxnId, &P, Time) -> (Time, OpOutcome),
         mut on_complete: impl FnMut(&Completion<P>) -> Vec<(PortId, Time, P)>,
     ) -> Vec<Completion<P>>
     where
@@ -320,13 +378,15 @@ impl<P> PortEngine<P> {
             match ev {
                 EngineEvent::Issue(idx) => {
                     let port = self.txns[idx].port;
-                    let completion = backend(TxnId(idx as u64), &self.txns[idx].payload, at);
+                    let (completion, outcome) =
+                        backend(TxnId(idx as u64), &self.txns[idx].payload, at);
                     assert!(
                         completion >= at,
                         "transaction completed before it was issued"
                     );
                     self.txns[idx].issued = Some(at);
                     self.txns[idx].completed = Some(completion);
+                    self.txns[idx].outcome = outcome;
                     self.ports[port].record_issue(at, completion);
                     queue.schedule(completion, EngineEvent::Complete(idx));
                     self.schedule_head(port, &mut queue);
@@ -339,6 +399,7 @@ impl<P> PortEngine<P> {
                         payload: t.payload.clone(),
                         issued: t.issued.expect("completed txn was issued"),
                         completed: at,
+                        outcome: t.outcome,
                     };
                     for (port, ready, payload) in on_complete(&completion) {
                         self.submit(port, ready, payload);
@@ -582,6 +643,41 @@ mod tests {
             }
         };
         assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    fn outcomes_ride_on_completions() {
+        let mut e = PortEngine::new();
+        let p = e.add_port(PortSpec::in_order("p", 2, ns(0)));
+        for i in 0..3u64 {
+            e.submit(p, Time::ZERO, i);
+        }
+        let done = e.run_reactive_with_outcomes(
+            |_, &i, t| match i {
+                0 => (t + ns(10), OpOutcome::Clean),
+                1 => (t + ns(50), OpOutcome::Retried),
+                _ => (t + ns(5), OpOutcome::Failed),
+            },
+            |_| Vec::new(),
+        );
+        let outcome_of = |i: u64| done.iter().find(|c| c.payload == i).unwrap().outcome;
+        assert_eq!(outcome_of(0), OpOutcome::Clean);
+        assert_eq!(outcome_of(1), OpOutcome::Retried);
+        assert_eq!(outcome_of(2), OpOutcome::Failed);
+        // Plain run_reactive reports Clean everywhere.
+        let mut e2: PortEngine<u64> = PortEngine::new();
+        let p2 = e2.add_port(PortSpec::in_order("p", 2, ns(0)));
+        e2.submit(p2, Time::ZERO, 0);
+        let done2 = e2.run(|_, _, t| t + ns(10));
+        assert_eq!(done2[0].outcome, OpOutcome::Clean);
+        assert_eq!(
+            OpOutcome::Clean.worst(OpOutcome::Retried),
+            OpOutcome::Retried
+        );
+        assert_eq!(
+            OpOutcome::Failed.worst(OpOutcome::Retried),
+            OpOutcome::Failed
+        );
     }
 
     #[test]

@@ -50,7 +50,7 @@
 //! assert_eq!(report.flows[0].ops + report.flows[1].ops, 200);
 //! ```
 
-use crate::port::{PortEngine, PortId, PortSpec};
+use crate::port::{OpOutcome, PortEngine, PortId, PortSpec};
 use crate::rng::SimRng;
 use crate::stats::{bandwidth_gbps, Histogram};
 use crate::sweep;
@@ -316,8 +316,18 @@ pub struct FlowStats {
     pub ops: u64,
     /// Bytes moved (`ops * bytes_per_op`).
     pub bytes: u64,
-    /// Sojourn (arrival to completion) distribution.
+    /// Sojourn (arrival to completion) distribution, all ops.
     pub hist: Histogram,
+    /// Ops that completed on the first attempt.
+    pub clean: u64,
+    /// Ops that completed only after retries/re-issues.
+    pub retried: u64,
+    /// Ops that were declared failed.
+    pub failed: u64,
+    /// Sojourn distribution of retried ops only.
+    pub retried_hist: Histogram,
+    /// Sojourn distribution of failed ops only.
+    pub failed_hist: Histogram,
     /// When the flow's first op issued.
     pub first_issue: Time,
     /// When its last op completed.
@@ -335,6 +345,11 @@ impl FlowStats {
             ops: 0,
             bytes: 0,
             hist: Histogram::new(),
+            clean: 0,
+            retried: 0,
+            failed: 0,
+            retried_hist: Histogram::new(),
+            failed_hist: Histogram::new(),
             first_issue: Time::ZERO,
             last_completion: Time::ZERO,
             busy: Duration::ZERO,
@@ -355,6 +370,17 @@ impl FlowStats {
     /// Achieved bandwidth over the flow's active span.
     pub fn achieved_gbps(&self) -> f64 {
         bandwidth_gbps(self.bytes, self.elapsed())
+    }
+
+    /// Goodput: bandwidth counting only ops that delivered data (clean +
+    /// retried), over the same active span. Equal to
+    /// [`achieved_gbps`](Self::achieved_gbps) when nothing failed.
+    pub fn goodput_gbps(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        let good_bytes = self.bytes / self.ops * (self.clean + self.retried);
+        bandwidth_gbps(good_bytes, self.elapsed())
     }
 
     /// Mean ops in flight over the active span (Little's law:
@@ -452,8 +478,22 @@ impl TrafficScheduler {
     /// completion hooks; open-loop arrivals were fixed at
     /// [`add_flow`](Self::add_flow) time.
     pub fn run(&mut self, mut backend: impl FnMut(&FlowOp, Time) -> Time) -> TrafficReport {
+        self.run_with_outcomes(|op, at| (backend(op, at), OpOutcome::Clean))
+    }
+
+    /// [`run`](Self::run) with an outcome-aware backend: the backend
+    /// classifies each op as clean, retried, or failed, and per-flow
+    /// stats split accordingly ([`FlowStats::clean`] /
+    /// [`FlowStats::retried`] / [`FlowStats::failed`], with separate
+    /// retried/failed histograms and [`FlowStats::goodput_gbps`]).
+    /// Retry/failure counters appear in the report only when they fire,
+    /// so fault-free runs export byte-identical counter files.
+    pub fn run_with_outcomes(
+        &mut self,
+        mut backend: impl FnMut(&FlowOp, Time) -> (Time, OpOutcome),
+    ) -> TrafficReport {
         let flows = &mut self.flows;
-        let completions = self.engine.run_reactive(
+        let completions = self.engine.run_reactive_with_outcomes(
             |_, op, at| backend(op, at),
             |c| {
                 let f = &mut flows[c.payload.flow as usize];
@@ -481,6 +521,19 @@ impl TrafficScheduler {
             s.hist.record(sojourn);
             s.sojourn += sojourn;
             s.busy += c.completed.duration_since(c.issued);
+            match c.outcome {
+                OpOutcome::Clean => s.clean += 1,
+                OpOutcome::Retried => {
+                    s.retried += 1;
+                    s.retried_hist.record(sojourn);
+                    counters.incr("traffic.ops.retried");
+                }
+                OpOutcome::Failed => {
+                    s.failed += 1;
+                    s.failed_hist.record(sojourn);
+                    counters.incr("traffic.ops.failed");
+                }
+            }
             counters.incr("traffic.ops");
             counters.add("traffic.bytes", flows[op.flow as usize].spec.bytes_per_op);
             trace::emit(
@@ -706,6 +759,46 @@ mod tests {
         assert!(
             (170_000.0..=230_000.0).contains(&span_ns),
             "poisson span off: {span_ns} ns"
+        );
+    }
+
+    #[test]
+    fn outcome_splits_account_every_op() {
+        let mut sched = TrafficScheduler::new(8);
+        let f = sched.add_flow(
+            FlowSpec::bound("r", PortSpec::in_order("r.port", 4, Duration::ZERO))
+                .open_fixed(ns(50))
+                .requests(30),
+        );
+        // Every third op retried (with a longer sojourn), every tenth failed.
+        let report = sched.run_with_outcomes(|op, at| match op.seq % 10 {
+            9 => (at + ns(500), OpOutcome::Failed),
+            s if s % 3 == 0 => (at + ns(120), OpOutcome::Retried),
+            _ => (at + ns(30), OpOutcome::Clean),
+        });
+        let s = &report.flows[f];
+        assert_eq!(s.clean + s.retried + s.failed, s.ops);
+        assert_eq!(s.failed, 3);
+        assert!(s.retried > 0);
+        assert!(s.goodput_gbps() < s.achieved_gbps());
+        assert_eq!(s.retried_hist.raw().count(), s.retried);
+        assert_eq!(report.counters.get("traffic.ops.failed"), 3);
+        // A clean run exports no retry/failure counters at all.
+        let mut clean = TrafficScheduler::new(8);
+        clean.add_flow(
+            FlowSpec::bound("c", PortSpec::in_order("c.port", 4, Duration::ZERO))
+                .open_fixed(ns(50))
+                .requests(10),
+        );
+        let clean_report = clean.run(fixed_backend);
+        assert_eq!(clean_report.counters.get("traffic.ops.retried"), 0);
+        assert!(!clean_report
+            .counters
+            .iter()
+            .any(|(k, _)| k.contains("retried") || k.contains("failed")));
+        assert_eq!(
+            clean_report.flows[0].goodput_gbps(),
+            clean_report.flows[0].achieved_gbps()
         );
     }
 

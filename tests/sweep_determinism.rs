@@ -5,6 +5,7 @@
 //! reference serial execution the parallel paths are held against.
 
 use cxl_bench::duplex::run_duplex_with_threads;
+use cxl_bench::fault::run_fault_with_threads;
 use cxl_bench::fig4::{run_fig4_with_threads, Fig4Row};
 use sim_core::sweep;
 use sim_core::time::Time;
@@ -81,6 +82,48 @@ fn duplex_sweep_is_byte_identical_across_thread_counts() {
             assert_eq!(a.slice_stalls, b.slice_stalls, "threads={threads}");
         }
         assert_eq!(trace1, trace_n, "trace JSONL diverged at {threads} threads");
+        assert_eq!(dropped1, dropped_n, "drop accounting at {threads} threads");
+    }
+}
+
+/// The reliability sweep injects faults — LRSM replays, slice-watchdog
+/// timeouts, poison surfacing — from per-point injector streams, and
+/// every fault event lands in the trace. The fault-event trace (not
+/// just the row figures) must be byte-identical at every thread count:
+/// injector draws depend only on the plan seed and the point name,
+/// never on scheduling.
+#[test]
+fn fault_sweep_traces_are_byte_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        trace::install(TRACE_CAPACITY);
+        let rows = run_fault_with_threads(threads, 400, 42);
+        let (events, dropped) = trace::take_captured();
+        (rows, trace::to_jsonl(&events), dropped)
+    };
+    let (rows1, trace1, dropped1) = run(1);
+    assert!(
+        trace1.contains("\"kind\":\"fault-inject\""),
+        "the high-BER points must inject faults into the trace"
+    );
+    assert!(
+        trace1.contains("\"kind\":\"link-retry\""),
+        "LRSM replays must land in the trace"
+    );
+    for threads in [2, 4] {
+        let (rows_n, trace_n, dropped_n) = run(threads);
+        assert_eq!(rows1.len(), rows_n.len());
+        for (a, b) in rows1.iter().zip(&rows_n) {
+            assert_eq!(bits(a.ber), bits(b.ber), "threads={threads}");
+            assert_eq!(a.chase, b.chase, "threads={threads}");
+            assert_eq!(a.fg, b.fg, "threads={threads}");
+            assert_eq!(bits(a.goodput_gbps), bits(b.goodput_gbps));
+            assert_eq!(
+                (a.clean, a.retried, a.failed, a.link_replays, a.timeouts),
+                (b.clean, b.retried, b.failed, b.link_replays, b.timeouts),
+                "threads={threads}"
+            );
+        }
+        assert_eq!(trace1, trace_n, "fault trace diverged at {threads} threads");
         assert_eq!(dropped1, dropped_n, "drop accounting at {threads} threads");
     }
 }
