@@ -11,6 +11,8 @@
 //! unitless serial/parallel ratios, recorded for visibility and never
 //! regression-checked.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use criterion::report::BenchReport;
@@ -19,10 +21,53 @@ use kvs::fig8::{run_zswap_seeds_with_threads, BackendKind, Fig8Config};
 use kvs::ycsb::YcsbWorkload;
 use sim_core::event::EventQueue;
 use sim_core::time::{Duration, Time};
+use sim_core::trace;
 
 const FIG4_REPS: usize = 40;
 const FIG4_SEED: u64 = 11;
 const FIG8_SEEDS: usize = 8;
+
+/// Counts heap allocations so the harness can report allocations per
+/// sweep point — the figure the arena/pool work drives down. Counting
+/// only (no sizes): a pooled hot path shows up as the count collapsing.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates allocation verbatim to `System`; the counter is a
+// relaxed atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation count of one call of `f`, after a warmup call that pays
+/// every lazy one-time cost (thread-local rings, grown buckets).
+fn allocs_in(mut f: impl FnMut()) -> u64 {
+    f();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
 
 /// Min wall time of `runs` calls of `f`, in nanoseconds.
 fn time_min(runs: usize, mut f: impl FnMut()) -> f64 {
@@ -134,7 +179,25 @@ fn main() {
     report.record("drain_until_into_reuse", drain);
     println!("  drain_until_into_reuse   {:>12.0} ns", drain);
 
+    // Per-event cost of the steady-state schedule/pop cycle: the churn
+    // loop pops (and reschedules) 200k events, so this is the figure a
+    // calendar-bucket or allocation change moves directly.
+    let ns_per_event = churn / 200_000.0;
+    report.record("event_queue_ns_per_event", ns_per_event);
+    println!("  event_queue_ns_per_event {:>12.1} ns", ns_per_event);
+
     println!("== fig4 sweep (8 points, reps = {FIG4_REPS}) ==");
+    // Heap allocations per sweep point with tracing on, 4 workers: the
+    // zero-copy splice and reused worker scratch hold this flat — every
+    // per-point ring regrowth or capture copy would show up here.
+    let fig4_allocs = allocs_in(|| {
+        trace::install(1 << 12);
+        std::hint::black_box(run_fig4_with_threads(4, FIG4_REPS, FIG4_SEED));
+        std::hint::black_box(trace::take_captured());
+    });
+    let allocs_per_point = fig4_allocs as f64 / 8.0;
+    report.record("fig4_sweep_allocs_per_point", allocs_per_point);
+    println!("  allocs_per_point (4t)    {:>12.1}", allocs_per_point);
     let fig4_serial = time_min(5, || {
         std::hint::black_box(run_fig4_with_threads(1, FIG4_REPS, FIG4_SEED));
     });

@@ -59,13 +59,14 @@ fn measure_bias(
     let mut bw = Samples::new();
     let mut t = Time::ZERO;
     let mut next: u64 = 1 << 16;
+    // One address buffer for all reps: refilled in place, never regrown.
+    let mut addrs = Vec::with_capacity(BURST);
     for _ in 0..reps {
-        let addrs: Vec<_> = (0..BURST)
-            .map(|_| {
-                next += 1 + rng.gen_range(4);
-                device_line(next)
-            })
-            .collect();
+        addrs.clear();
+        addrs.extend((0..BURST).map(|_| {
+            next += 1 + rng.gen_range(4);
+            device_line(next)
+        }));
         if device_bias {
             for &a in &addrs {
                 t = dev.enter_device_bias(a, 1, t, &mut host);

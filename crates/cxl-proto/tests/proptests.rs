@@ -110,6 +110,71 @@ proptest! {
         prop_assert_eq!(out.transmissions, flits + out.ghost_flits + out.replays);
     }
 
+    /// The conservation law survives batched delivery: when the flit
+    /// stream arrives as schedule_batch-sized groups (one LRSM run per
+    /// group, corruption oracle keyed by global sequence number),
+    /// `transmissions = delivered + ghosts + replays` holds for every
+    /// group and in aggregate, and the concatenated delivered streams
+    /// still equal the full in-order stream.
+    #[test]
+    fn lrsm_conservation_survives_batched_delivery(
+        batches in proptest::collection::vec(1u64..48, 1..14),
+        depth in 1u64..24,
+        corruptions in proptest::collection::vec((0u64..400, 1u32..4), 0..80),
+    ) {
+        let cfg = RetryConfig {
+            buffer_depth: depth,
+            max_replays: 8,
+            ..RetryConfig::default()
+        };
+        let bad: HashSet<(u64, u32)> = corruptions.into_iter().collect();
+        let mut base = 0u64;
+        let mut all_delivered = Vec::new();
+        let (mut tx, mut ghosts, mut replays) = (0u64, 0u64, 0u64);
+        for &n in &batches {
+            let out = deliver_stream(n, &cfg, |seq, attempt| bad.contains(&(base + seq, attempt)));
+            prop_assert_eq!(out.failed, None);
+            // Per-batch conservation.
+            prop_assert_eq!(
+                out.transmissions,
+                out.delivered.len() as u64 + out.ghost_flits + out.replays,
+                "batch at base {} broke conservation", base
+            );
+            all_delivered.extend(out.delivered.iter().map(|s| base + s));
+            tx += out.transmissions;
+            ghosts += out.ghost_flits;
+            replays += out.replays;
+            base += n;
+        }
+        // Aggregate conservation + in-order, loss-free, duplicate-free.
+        prop_assert_eq!(tx, base + ghosts + replays);
+        prop_assert_eq!(all_delivered, (0..base).collect::<Vec<u64>>());
+    }
+
+    /// Conservation with a dead flit: the fatal attempt is the only
+    /// transmission not covered by delivered/ghosts/replays.
+    #[test]
+    fn lrsm_conservation_holds_through_failure(
+        flits in 1u64..60,
+        dead in any::<u64>(),
+        max_replays in 1u32..6,
+        depth in 1u64..24,
+    ) {
+        let dead = dead % flits;
+        let cfg = RetryConfig {
+            buffer_depth: depth,
+            max_replays,
+            ..RetryConfig::default()
+        };
+        let out = deliver_stream(flits, &cfg, |seq, _| seq == dead);
+        prop_assert_eq!(out.failed, Some(dead));
+        prop_assert_eq!(out.replays, u64::from(max_replays));
+        prop_assert_eq!(
+            out.transmissions,
+            out.delivered.len() as u64 + out.ghost_flits + out.replays + 1
+        );
+    }
+
     /// A flit corrupted on every attempt kills the stream at exactly
     /// that flit, after exactly max_replays rewinds for it.
     #[test]

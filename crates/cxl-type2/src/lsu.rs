@@ -126,23 +126,33 @@ impl Lsu {
                 lines: addrs.len() as u64,
             },
         );
-        let mut engine: PortEngine<usize> = PortEngine::new();
-        let per_slice = mlp.min(dev.timing.dcoh_slice_outstanding);
-        let ports: Vec<_> = dev
-            .slice_ports()
-            .into_iter()
-            .map(|spec| {
-                let mut spec = spec;
-                spec.max_outstanding = spec.max_outstanding.min(per_slice);
-                engine.add_port(spec)
-            })
-            .collect();
-        for (i, &a) in addrs.iter().enumerate() {
-            engine.submit(ports[dev.slice_of(a)], start, i);
+        // One scratch engine per thread, reset between bursts: repeated
+        // bursts (the Fig. 4 reps) reuse the transaction arena and the
+        // engine's calendar-queue buckets instead of reallocating them.
+        thread_local! {
+            static BURST_ENGINE: std::cell::RefCell<PortEngine<usize>> =
+                std::cell::RefCell::new(PortEngine::new());
         }
-        let done = engine.run(|_, &i, t| match target {
-            BurstTarget::HostMemory => dev.d2h(req, addrs[i], t, host).completion,
-            BurstTarget::DeviceMemory => dev.d2d(req, addrs[i], t, host).completion,
+        let done = BURST_ENGINE.with(|cell| {
+            let mut engine = cell.borrow_mut();
+            engine.reset();
+            let per_slice = mlp.min(dev.timing.dcoh_slice_outstanding);
+            let ports: Vec<_> = dev
+                .slice_ports()
+                .into_iter()
+                .map(|spec| {
+                    let mut spec = spec;
+                    spec.max_outstanding = spec.max_outstanding.min(per_slice);
+                    engine.add_port(spec)
+                })
+                .collect();
+            for (i, &a) in addrs.iter().enumerate() {
+                engine.submit(ports[dev.slice_of(a)], start, i);
+            }
+            engine.run(|_, &i, t| match target {
+                BurstTarget::HostMemory => dev.d2h(req, addrs[i], t, host).completion,
+                BurstTarget::DeviceMemory => dev.d2d(req, addrs[i], t, host).completion,
+            })
         });
         let mut first_issue = done.first().map(|c| c.issued).unwrap_or(start);
         let mut last_completion = start;

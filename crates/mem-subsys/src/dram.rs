@@ -221,9 +221,11 @@ impl MemorySystem {
     /// index), so a discrete-event driver observes individual writes
     /// leaving the queues instead of only the final drain time.
     pub fn schedule_write_drains(&self, queue: &mut EventQueue<usize>) {
-        for (ch, t) in self.pending_write_drains() {
-            queue.schedule(t, ch);
-        }
+        queue.schedule_batch(
+            self.pending_write_drains()
+                .into_iter()
+                .map(|(ch, t)| (t, ch)),
+        );
     }
 
     /// Reads the line at `addr`; returns data-return time.

@@ -127,7 +127,11 @@ impl FaultProcess {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
-    bindings: Vec<(&'static str, FaultProcess)>,
+    /// `(point, fnv1a(point), process)`: the point-name hash is memoized
+    /// at bind time, so deriving an injector — which fault sweeps do for
+    /// every registered point of every sweep point — never re-hashes the
+    /// name string.
+    bindings: Vec<(&'static str, u64, FaultProcess)>,
 }
 
 impl FaultPlan {
@@ -148,7 +152,7 @@ impl FaultPlan {
     /// Binds `process` to the injection point `point` (builder-style;
     /// a point may carry several processes).
     pub fn with(mut self, point: &'static str, process: FaultProcess) -> Self {
-        self.bindings.push((point, process));
+        self.bindings.push((point, fnv1a(point), process));
         self
     }
 
@@ -165,13 +169,20 @@ impl FaultPlan {
     /// Derives the injector for `point`: its RNG depends only on the
     /// plan seed and the point name, so creation order is irrelevant.
     pub fn injector(&self, point: &'static str) -> Injector {
+        let mut key = None;
         let processes: Vec<FaultProcess> = self
             .bindings
             .iter()
-            .filter(|(p, _)| *p == point)
-            .map(|(_, proc)| *proc)
+            .filter(|(p, _, _)| *p == point)
+            .map(|(_, k, proc)| {
+                key = Some(*k);
+                *proc
+            })
             .collect();
-        Injector::new(point, self.seed, processes)
+        // An unbound point falls back to hashing here; its injector is
+        // inert either way, but the derivation stays uniform.
+        let key = key.unwrap_or_else(|| fnv1a(point));
+        Injector::with_key(point, self.seed, key, processes)
     }
 }
 
@@ -203,7 +214,16 @@ pub struct Injector {
 
 impl Injector {
     fn new(point: &'static str, seed: u64, processes: Vec<FaultProcess>) -> Self {
-        let (_, derived) = splitmix64(seed ^ fnv1a(point));
+        Injector::with_key(point, seed, fnv1a(point), processes)
+    }
+
+    /// [`new`](Self::new) with the point-name hash supplied by the
+    /// caller (the plan memoizes it at bind time). `key` must equal
+    /// `fnv1a(point)` — the RNG stream contract `splitmix64(seed ^
+    /// fnv1a(point))` is pinned by the injector-stream regression test.
+    fn with_key(point: &'static str, seed: u64, key: u64, processes: Vec<FaultProcess>) -> Self {
+        debug_assert_eq!(key, fnv1a(point), "memoized key must match the name hash");
+        let (_, derived) = splitmix64(seed ^ key);
         let mut rng = SimRng::seed_from(derived);
         // Draw the window phase only when a LinkDown process exists so
         // plans without one leave the decision stream untouched.
@@ -388,6 +408,42 @@ mod tests {
         let draws_b: Vec<bool> = (0..256).map(|i| link_b.corrupt_flit(at(i), 544)).collect();
         assert_eq!(draws_a, draws_b);
         assert!(draws_a.iter().any(|&c| c), "1e-4 BER over 544 bits fires");
+    }
+
+    #[test]
+    fn memoized_point_keys_reproduce_direct_hash_streams() {
+        // The plan hashes each point name once, at bind time. The
+        // injector it derives must draw the exact stream of one built by
+        // hashing the name at creation time (the pre-memoization path),
+        // regardless of how many other bindings surround it.
+        let plan = FaultPlan::new(77)
+            .with("zswap.offload", FaultProcess::poison(0.05))
+            .with("link.cxl", FaultProcess::bit_error(2e-4))
+            .with(
+                "link.cxl",
+                FaultProcess::stall(0.25, Duration::from_nanos(40)),
+            );
+        let mut memoized = plan.injector("link.cxl");
+        let mut direct = Injector::new(
+            "link.cxl",
+            77,
+            vec![
+                FaultProcess::bit_error(2e-4),
+                FaultProcess::stall(0.25, Duration::from_nanos(40)),
+            ],
+        );
+        for i in 0..512 {
+            assert_eq!(
+                memoized.corrupt_flit(at(i), 544),
+                direct.corrupt_flit(at(i), 544),
+                "corrupt draw diverged at {i}"
+            );
+            assert_eq!(memoized.stall(at(i)), direct.stall(at(i)), "stall at {i}");
+        }
+        assert_eq!(memoized.total_fired(), direct.total_fired());
+        assert!(memoized.total_fired() > 0, "the stream must exercise fires");
+        // Unbound points take the fallback hash and stay inert.
+        assert!(!plan.injector("never.bound").enabled());
     }
 
     #[test]

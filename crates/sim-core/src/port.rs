@@ -249,6 +249,10 @@ enum EngineEvent {
 pub struct PortEngine<P> {
     ports: Vec<PortState>,
     txns: Vec<TxnSlot<P>>,
+    /// The event queue driving [`run`](Self::run), kept as a field so
+    /// repeated runs (and [`reset`](Self::reset) cycles) reuse its grown
+    /// calendar buckets and overflow heap instead of reallocating them.
+    queue: EventQueue<EngineEvent>,
 }
 
 impl<P> PortEngine<P> {
@@ -257,7 +261,20 @@ impl<P> PortEngine<P> {
         PortEngine {
             ports: Vec::new(),
             txns: Vec::new(),
+            queue: EventQueue::new(),
         }
+    }
+
+    /// Forgets all ports and transactions and rewinds the clock to zero
+    /// while keeping every grown allocation — the transaction arena, the
+    /// port table, and the event queue's calendar buckets. A driver that
+    /// builds one engine per burst/point can instead hold a single
+    /// engine and `reset` it, making repeated bursts allocation-free
+    /// once the first has sized the arenas.
+    pub fn reset(&mut self) {
+        self.ports.clear();
+        self.txns.clear();
+        self.queue.reset();
     }
 
     /// Registers a port; returns its id.
@@ -281,9 +298,22 @@ impl<P> PortEngine<P> {
     ///
     /// Panics if `port` is not a registered port id.
     pub fn submit(&mut self, port: PortId, ready: Time, payload: P) -> TxnId {
-        assert!(port < self.ports.len(), "unknown port {port}");
-        let idx = self.txns.len();
-        self.txns.push(TxnSlot {
+        Self::push_txn(&mut self.ports, &mut self.txns, port, ready, payload)
+    }
+
+    /// [`submit`](Self::submit) on split borrows, so the run loop can
+    /// queue reactive follow-ups while the engine's event queue (another
+    /// field of `self`) is mutably borrowed.
+    fn push_txn(
+        ports: &mut [PortState],
+        txns: &mut Vec<TxnSlot<P>>,
+        port: PortId,
+        ready: Time,
+        payload: P,
+    ) -> TxnId {
+        assert!(port < ports.len(), "unknown port {port}");
+        let idx = txns.len();
+        txns.push(TxnSlot {
             port,
             ready,
             payload,
@@ -291,7 +321,7 @@ impl<P> PortEngine<P> {
             completed: None,
             outcome: OpOutcome::Clean,
         });
-        self.ports[port].pending.push_back(idx);
+        ports[port].pending.push_back(idx);
         TxnId(idx as u64)
     }
 
@@ -368,31 +398,34 @@ impl<P> PortEngine<P> {
     where
         P: Clone,
     {
-        let mut queue: EventQueue<EngineEvent> = EventQueue::new();
+        // Reuse the engine's queue across runs: rewind it (allocations
+        // retained), then drive it through split borrows so reactive
+        // follow-ups can push transactions while the queue is live.
+        self.queue.reset();
+        let PortEngine { ports, txns, queue } = self;
         // Seed each port's head transaction.
-        for port in 0..self.ports.len() {
-            self.schedule_head(port, &mut queue);
+        for port in 0..ports.len() {
+            Self::schedule_head(ports, txns, port, queue);
         }
         let mut out = Vec::new();
         while let Some((at, ev)) = queue.pop() {
             match ev {
                 EngineEvent::Issue(idx) => {
-                    let port = self.txns[idx].port;
-                    let (completion, outcome) =
-                        backend(TxnId(idx as u64), &self.txns[idx].payload, at);
+                    let port = txns[idx].port;
+                    let (completion, outcome) = backend(TxnId(idx as u64), &txns[idx].payload, at);
                     assert!(
                         completion >= at,
                         "transaction completed before it was issued"
                     );
-                    self.txns[idx].issued = Some(at);
-                    self.txns[idx].completed = Some(completion);
-                    self.txns[idx].outcome = outcome;
-                    self.ports[port].record_issue(at, completion);
+                    txns[idx].issued = Some(at);
+                    txns[idx].completed = Some(completion);
+                    txns[idx].outcome = outcome;
+                    ports[port].record_issue(at, completion);
                     queue.schedule(completion, EngineEvent::Complete(idx));
-                    self.schedule_head(port, &mut queue);
+                    Self::schedule_head(ports, txns, port, queue);
                 }
                 EngineEvent::Complete(idx) => {
-                    let t = &self.txns[idx];
+                    let t = &txns[idx];
                     let completion = Completion {
                         id: TxnId(idx as u64),
                         port: t.port,
@@ -402,9 +435,9 @@ impl<P> PortEngine<P> {
                         outcome: t.outcome,
                     };
                     for (port, ready, payload) in on_complete(&completion) {
-                        self.submit(port, ready, payload);
-                        if !self.ports[port].armed {
-                            self.schedule_head(port, &mut queue);
+                        Self::push_txn(ports, txns, port, ready, payload);
+                        if !ports[port].armed {
+                            Self::schedule_head(ports, txns, port, queue);
                         }
                     }
                     out.push(completion);
@@ -417,18 +450,23 @@ impl<P> PortEngine<P> {
     /// Pops the next pending transaction of `port` and schedules its issue
     /// event at the port's admission time; disarms the port if nothing is
     /// pending.
-    fn schedule_head(&mut self, port: PortId, queue: &mut EventQueue<EngineEvent>) {
-        let Some(&idx) = self.ports[port].pending.front() else {
-            self.ports[port].armed = false;
+    fn schedule_head(
+        ports: &mut [PortState],
+        txns: &[TxnSlot<P>],
+        port: PortId,
+        queue: &mut EventQueue<EngineEvent>,
+    ) {
+        let Some(&idx) = ports[port].pending.front() else {
+            ports[port].armed = false;
             return;
         };
-        self.ports[port].pending.pop_front();
-        let ready = self.txns[idx].ready;
+        ports[port].pending.pop_front();
+        let ready = txns[idx].ready;
         // A reactive follow-up may carry a ready time already behind the
         // engine clock; it cannot issue in the simulated past.
-        let at = self.ports[port].admit_at(ready).max(queue.now());
+        let at = ports[port].admit_at(ready).max(queue.now());
         queue.schedule(at, EngineEvent::Issue(idx));
-        self.ports[port].armed = true;
+        ports[port].armed = true;
     }
 }
 
@@ -678,6 +716,41 @@ mod tests {
             OpOutcome::Failed.worst(OpOutcome::Retried),
             OpOutcome::Failed
         );
+    }
+
+    #[test]
+    fn reset_engine_replays_like_a_fresh_one() {
+        // A single engine cycled through reset() must be byte-identical
+        // to building a fresh engine per burst — the contract the LSU's
+        // reused burst engine depends on.
+        let drive = |e: &mut PortEngine<u64>| {
+            let a = e.add_port(PortSpec::in_order("a", 3, ns(2)));
+            let b = e.add_port(PortSpec::out_of_order("b", 2, ns(5)));
+            for i in 0..20u64 {
+                e.submit(if i % 3 == 0 { b } else { a }, Time::from_nanos(i), i);
+            }
+            let mut bus_free = Time::ZERO;
+            e.run(move |_, _, t| {
+                let start = bus_free.max(t);
+                bus_free = start + ns(13);
+                bus_free
+            })
+        };
+        let mut fresh = PortEngine::new();
+        let reference = drive(&mut fresh);
+
+        let mut reused = PortEngine::new();
+        // Dirty the engine with a different shape first, then reset.
+        let junk = reused.add_port(PortSpec::in_order("junk", 1, ns(1)));
+        for i in 0..50u64 {
+            reused.submit(junk, Time::from_nanos(1_000 + i), i);
+        }
+        let _ = reused.run(|_, _, t| t + ns(700));
+        reused.reset();
+        assert_eq!(drive(&mut reused), reference);
+        // And again: reset is idempotent across cycles.
+        reused.reset();
+        assert_eq!(drive(&mut reused), reference);
     }
 
     #[test]

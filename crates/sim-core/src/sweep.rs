@@ -15,10 +15,13 @@
 //! 1. Each point is a pure function of its index (callers derive
 //!    per-point RNG streams via [`point_seed`]), so values don't depend
 //!    on which worker ran the point or when.
-//! 2. Workers install a private tracer ring cloned from the caller's
-//!    capacity; after the pool joins, captures are
-//!    [`spliced`](crate::trace::splice) into the caller's ring in point
-//!    order, reproducing the exact retained window, sequence numbers,
+//! 2. Each worker installs **one** private tracer ring of the caller's
+//!    capacity and reuses it for every point it claims: between points
+//!    [`trace::take_point`] hands the capture out by ownership transfer
+//!    and rewinds the ring in place. After the pool joins, the captures
+//!    are [`absorbed`](crate::trace::splice_owned) into the caller's
+//!    ring in point order — adopting chunk buffers instead of copying
+//!    events — reproducing the exact retained window, sequence numbers,
 //!    and dropped counts of serial execution.
 //! 3. Results are collected by index into pre-allocated slots, not in
 //!    completion order.
@@ -41,7 +44,7 @@ use std::sync::Mutex;
 use std::thread;
 
 use crate::rng::splitmix64;
-use crate::trace::{self, TimedEvent};
+use crate::trace::{self, PointCapture};
 
 /// Environment variable overriding the worker-pool size.
 pub const THREADS_ENV: &str = "CXL_SIM_THREADS";
@@ -84,10 +87,11 @@ where
 /// point) every point runs inline on the caller's thread — the legacy
 /// serial path, byte-identical by construction.
 ///
-/// If the caller has a tracer installed, each worker point runs under a
-/// private ring of the same capacity and the captures are spliced into
-/// the caller's ring in point order, so trace exports and eviction
-/// counts match serial execution exactly at any thread count.
+/// If the caller has a tracer installed, each worker runs its points
+/// under one reused private ring of the same capacity and the owned
+/// captures are absorbed into the caller's ring in point order, so
+/// trace exports and eviction counts match serial execution exactly at
+/// any thread count.
 ///
 /// # Panics
 ///
@@ -107,42 +111,52 @@ where
 
     let capture = trace::installed_capacity();
     let next = AtomicUsize::new(0);
-    type Slot<T> = Mutex<Option<(T, Vec<TimedEvent>, u64)>>;
+    type Slot<T> = Mutex<Option<(T, PointCapture)>>;
     let slots: Vec<Slot<T>> = (0..points).map(|_| Mutex::new(None)).collect();
 
     thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= points {
-                    break;
-                }
-                let out = if let Some(cap) = capture {
+            scope.spawn(|| {
+                // One ring per worker, reused across every point it
+                // claims: `take_point` hands each capture out by
+                // ownership and rewinds the ring in place, so there is
+                // no per-point ring allocation and no event copy.
+                if let Some(cap) = capture {
                     trace::install(cap);
+                }
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= points {
+                        break;
+                    }
                     let value = f(i);
-                    let (events, dropped) = trace::take_captured();
-                    (value, events, dropped)
-                } else {
-                    (f(i), Vec::new(), 0)
-                };
-                *slots[i].lock().expect("sweep slot lock") = Some(out);
+                    let point = if capture.is_some() {
+                        trace::take_point()
+                    } else {
+                        PointCapture::default()
+                    };
+                    *slots[i].lock().expect("sweep slot lock") = Some((value, point));
+                }
             });
         }
     });
 
-    slots
-        .into_iter()
-        .map(|slot| {
-            let (value, events, dropped) = slot
-                .into_inner()
-                .expect("sweep slot lock")
-                .expect("every sweep point completed");
-            if capture.is_some() {
-                trace::splice(dropped, &events);
-            }
-            value
-        })
-        .collect()
+    let mut values = Vec::with_capacity(points);
+    let mut captures = Vec::with_capacity(if capture.is_some() { points } else { 0 });
+    for slot in slots {
+        let (value, point) = slot
+            .into_inner()
+            .expect("sweep slot lock")
+            .expect("every sweep point completed");
+        values.push(value);
+        if capture.is_some() {
+            captures.push(point);
+        }
+    }
+    if capture.is_some() {
+        trace::splice_owned(captures);
+    }
+    values
 }
 
 #[cfg(test)]

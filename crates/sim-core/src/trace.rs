@@ -138,6 +138,110 @@ impl TraceRing {
         self.dropped += n;
     }
 
+    /// Moves this ring's retained events out as an owned
+    /// [`PointCapture`] — oldest first, with this ring's own sequence
+    /// numbering and eviction count — and rewinds the ring for the next
+    /// capture without tearing it down. The backing buffer is handed off
+    /// by ownership (no per-event copy); a ring that recorded nothing
+    /// hands off an empty capture without touching its allocation.
+    pub fn take_point(&mut self) -> PointCapture {
+        let dropped = self.dropped;
+        let events = if self.buf.is_empty() {
+            Vec::new()
+        } else {
+            self.buf.rotate_left(self.head);
+            std::mem::replace(&mut self.buf, Vec::with_capacity(self.capacity))
+        };
+        self.head = 0;
+        self.len = 0;
+        self.next_seq = 0;
+        self.dropped = 0;
+        PointCapture { events, dropped }
+    }
+
+    /// Merges a sequence of point captures into this ring exactly as if
+    /// every capture's whole emission stream had been replayed through it
+    /// in order — the ownership-transfer counterpart of [`splice`].
+    ///
+    /// Instead of pushing events one at a time, the final retained window
+    /// is computed up front: captures that lie entirely before the window
+    /// contribute only to sequence numbering and the eviction count, and
+    /// whenever the window is covered by a single capture (the common
+    /// case once per-point rings wrap) its buffer is adopted wholesale —
+    /// zero event copies. Sequence numbers are rebased per capture, so
+    /// the resulting ring state (retained events, numbering, drop
+    /// accounting) is byte-identical to serial emission.
+    pub fn absorb(&mut self, captures: Vec<PointCapture>) {
+        // Normalize the current window to a linear, head-at-zero buffer.
+        if self.head != 0 {
+            self.buf.rotate_left(self.head);
+            self.head = 0;
+        }
+        let cap = self.capacity;
+        let total_new: usize = captures.iter().map(|c| c.events.len()).sum();
+        let old_len = self.len;
+        let final_len = (old_len + total_new).min(cap);
+        let surviving_new = total_new.min(final_len);
+        let from_old = final_len - surviving_new;
+        // Old events pushed out by the incoming stream are evictions.
+        if from_old < old_len {
+            self.buf.drain(..old_len - from_old);
+            self.dropped += (old_len - from_old) as u64;
+        }
+        // Locate the first (capture, offset) inside the final window.
+        let mut start = captures.len();
+        let mut start_off = 0usize;
+        let mut need = surviving_new;
+        for (i, c) in captures.iter().enumerate().rev() {
+            if need == 0 {
+                break;
+            }
+            start = i;
+            if c.events.len() >= need {
+                start_off = c.events.len() - need;
+                need = 0;
+            } else {
+                need -= c.events.len();
+                start_off = 0;
+            }
+        }
+        debug_assert_eq!(need, 0, "window selection must be satisfiable");
+        let mut seq_base = self.next_seq;
+        for (i, c) in captures.into_iter().enumerate() {
+            let chunk_span = c.events.len() as u64 + c.dropped;
+            self.dropped += c.dropped;
+            if i >= start {
+                let skipped = if i == start { start_off } else { 0 };
+                // Events before the window were pushed and then evicted
+                // in the serial replay.
+                self.dropped += skipped as u64;
+                if i == start && self.buf.is_empty() {
+                    // Adopt the capture's buffer outright: the window
+                    // starts here and nothing retained precedes it.
+                    let mut v = c.events;
+                    v.drain(..skipped);
+                    for e in &mut v {
+                        e.seq += seq_base;
+                    }
+                    self.buf = v;
+                } else {
+                    self.buf
+                        .extend(c.events[skipped..].iter().map(|e| TimedEvent {
+                            seq: seq_base + e.seq,
+                            ..*e
+                        }));
+                }
+            } else {
+                // Entirely outside the window: every event was evicted.
+                self.dropped += c.events.len() as u64;
+            }
+            seq_base += chunk_span;
+        }
+        self.next_seq = seq_base;
+        self.len = self.buf.len();
+        debug_assert_eq!(self.len, final_len);
+    }
+
     /// The retained events, oldest first.
     pub fn to_vec(&self) -> Vec<TimedEvent> {
         let mut out = Vec::with_capacity(self.len);
@@ -153,6 +257,20 @@ impl TraceRing {
         self.head = 0;
         self.len = 0;
     }
+}
+
+/// One sweep point's captured trace, moved out of a worker ring by
+/// ownership transfer ([`TraceRing::take_point`] / [`take_point`]):
+/// the retained events oldest-first with the worker ring's own sequence
+/// numbering, plus how many earlier events that ring evicted. Feed a
+/// point-ordered sequence of these to [`splice_owned`] to reassemble the
+/// exact serial trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PointCapture {
+    /// Retained events, oldest first, worker-local sequence numbers.
+    pub events: Vec<TimedEvent>,
+    /// Events the capturing ring evicted by wrap-around.
+    pub dropped: u64,
 }
 
 thread_local! {
@@ -218,6 +336,34 @@ pub fn splice(dropped: u64, events: &[TimedEvent]) {
             for e in events {
                 ring.push(e.at, e.event);
             }
+        }
+    });
+}
+
+/// Moves the current point's capture out of this thread's tracer by
+/// ownership transfer and rewinds the ring for the next point, leaving
+/// the tracer installed. Sweep workers call this between points so one
+/// ring (and its seq/drop bookkeeping) is reused for a whole worker
+/// lifetime instead of being torn down and reallocated per point.
+/// Returns an empty capture when no tracer is installed.
+pub fn take_point() -> PointCapture {
+    TRACER.with(|t| {
+        t.borrow_mut()
+            .as_mut()
+            .map(|r| r.take_point())
+            .unwrap_or_default()
+    })
+}
+
+/// Merges point captures (from [`take_point`] on same-capacity rings)
+/// into this thread's tracer in order, exactly as if every capture's
+/// emission stream had passed through it — the zero-copy counterpart of
+/// [`splice`], built on [`TraceRing::absorb`]. A no-op without an
+/// installed tracer.
+pub fn splice_owned(captures: Vec<PointCapture>) {
+    TRACER.with(|t| {
+        if let Some(ring) = t.borrow_mut().as_mut() {
+            ring.absorb(captures);
         }
     });
 }
@@ -718,6 +864,129 @@ mod tests {
             }
             splice(worker.dropped(), &worker.to_vec());
         }
+        let (merged_events, merged_dropped) = take_captured();
+        assert_eq!(merged_events, serial_events);
+        assert_eq!(merged_dropped, serial_dropped);
+        assert_eq!(merged_dropped, 0);
+    }
+
+    #[test]
+    fn take_point_rewinds_ring_for_reuse() {
+        let mut r = TraceRing::new(4);
+        for i in 0..6u64 {
+            r.push(at(i), TraceEvent::LlcPush { addr: i });
+        }
+        let first = r.take_point();
+        assert_eq!(first.events.len(), 4);
+        assert_eq!(first.dropped, 2);
+        assert_eq!(first.events[0].seq, 2, "worker-local numbering survives");
+        // The ring is rewound, not torn down: the next point starts from
+        // a clean seq/drop state.
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        r.push(at(100), TraceEvent::LlcPush { addr: 100 });
+        let second = r.take_point();
+        assert_eq!(second.events.len(), 1);
+        assert_eq!(second.events[0].seq, 0);
+        assert_eq!(second.dropped, 0);
+        // An untouched ring hands off an empty capture.
+        assert_eq!(r.take_point(), PointCapture::default());
+    }
+
+    #[test]
+    fn absorb_reproduces_serial_ring_state() {
+        // Serial reference: one capacity-4 ring sees 3 points x 6 events.
+        install(4);
+        for i in 0..18u64 {
+            emit(at(i), TraceEvent::LlcPush { addr: i });
+        }
+        let (serial_events, serial_dropped) = take_captured();
+
+        // "Parallel": one reused worker ring, one owned capture per
+        // point, absorbed back in point order.
+        install(4);
+        let mut worker = TraceRing::new(4);
+        let mut captures = Vec::new();
+        for p in 0..3u64 {
+            for i in 0..6u64 {
+                worker.push(at(p * 6 + i), TraceEvent::LlcPush { addr: p * 6 + i });
+            }
+            captures.push(worker.take_point());
+        }
+        splice_owned(captures);
+        let (merged_events, merged_dropped) = take_captured();
+        assert_eq!(merged_events, serial_events, "retained window + seqs");
+        assert_eq!(merged_dropped, serial_dropped, "eviction accounting");
+    }
+
+    /// `absorb` must agree with per-point `splice` on every chunk shape:
+    /// empty points, partial points, exactly-full points, wrapped points,
+    /// and a non-empty (already wrapped) target ring.
+    #[test]
+    fn absorb_matches_splice_chunk_for_chunk() {
+        let cap = 5usize;
+        let point_sizes: [u64; 7] = [0, 2, 5, 9, 0, 1, 13];
+        let make_captures = || {
+            let mut worker = TraceRing::new(cap);
+            let mut out = Vec::new();
+            for (p, &n) in point_sizes.iter().enumerate() {
+                for i in 0..n {
+                    let addr = (p as u64) * 100 + i;
+                    worker.push(at(addr), TraceEvent::LlcPush { addr });
+                }
+                out.push(worker.take_point());
+            }
+            out
+        };
+
+        // Reference: the existing per-event splice path, onto a target
+        // ring that already wrapped (head != 0, dropped != 0).
+        let prime = |ring: &mut TraceRing| {
+            for i in 0..7u64 {
+                ring.push(at(i), TraceEvent::LlcPush { addr: 1_000 + i });
+            }
+        };
+        let mut reference = TraceRing::new(cap);
+        prime(&mut reference);
+        for c in make_captures() {
+            reference.note_dropped(c.dropped);
+            for e in &c.events {
+                reference.push(e.at, e.event);
+            }
+        }
+
+        let mut absorbed = TraceRing::new(cap);
+        prime(&mut absorbed);
+        absorbed.absorb(make_captures());
+
+        assert_eq!(absorbed.to_vec(), reference.to_vec());
+        assert_eq!(absorbed.dropped(), reference.dropped());
+        assert_eq!(absorbed.len(), reference.len());
+        // Post-merge emission continues the same numbering stream.
+        absorbed.push(at(999), TraceEvent::LlcPush { addr: 999 });
+        reference.push(at(999), TraceEvent::LlcPush { addr: 999 });
+        assert_eq!(absorbed.to_vec(), reference.to_vec());
+    }
+
+    #[test]
+    fn absorb_with_partial_points_matches_serial() {
+        // Points smaller than capacity must absorb without phantom drops.
+        install(8);
+        for i in 0..5u64 {
+            emit(at(i), TraceEvent::LlcPush { addr: i });
+        }
+        let (serial_events, serial_dropped) = take_captured();
+
+        install(8);
+        let mut worker = TraceRing::new(8);
+        let mut captures = Vec::new();
+        for (start, n) in [(0u64, 2u64), (2, 3)] {
+            for i in 0..n {
+                worker.push(at(start + i), TraceEvent::LlcPush { addr: start + i });
+            }
+            captures.push(worker.take_point());
+        }
+        splice_owned(captures);
         let (merged_events, merged_dropped) = take_captured();
         assert_eq!(merged_events, serial_events);
         assert_eq!(merged_dropped, serial_dropped);

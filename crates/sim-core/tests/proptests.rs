@@ -5,8 +5,86 @@ use sim_core::event::EventQueue;
 use sim_core::rng::SimRng;
 use sim_core::stats::{Histogram, Samples};
 use sim_core::time::{Duration, Time};
+use sim_core::trace::{TraceEvent, TraceRing};
 
 proptest! {
+    /// `schedule_batch` is observationally identical to scheduling each
+    /// pair with `schedule` in slice order — same delivery stream, same
+    /// FIFO tiebreaks — including batches issued mid-drain (into the
+    /// sorted drain bucket) and batches straddling the overflow window.
+    #[test]
+    fn schedule_batch_equals_single_inserts(
+        pairs in proptest::collection::vec((0u64..6_000_000, any::<u32>()), 1..250),
+        drain in 0usize..120,
+        more in proptest::collection::vec(0u64..6_000_000, 0..80),
+    ) {
+        let mut single = EventQueue::new();
+        let mut batched = EventQueue::new();
+        for &(off, id) in &pairs {
+            single.schedule(Time::from_picos(off), id);
+        }
+        batched.schedule_batch(pairs.iter().map(|&(off, id)| (Time::from_picos(off), id)));
+        let mut got_single = Vec::new();
+        let mut got_batched = Vec::new();
+        for _ in 0..drain.min(pairs.len()) {
+            got_single.push(single.pop().unwrap());
+            got_batched.push(batched.pop().unwrap());
+        }
+        // Mid-drain refill: hits the sorted-bucket insert path.
+        let now = single.now();
+        for (k, &off) in more.iter().enumerate() {
+            single.schedule(now + Duration::from_picos(off), k as u32);
+        }
+        batched.schedule_batch(
+            more.iter()
+                .enumerate()
+                .map(|(k, &off)| (now + Duration::from_picos(off), k as u32)),
+        );
+        while let Some(p) = single.pop() {
+            got_single.push(p);
+            got_batched.push(batched.pop().unwrap());
+        }
+        prop_assert_eq!(batched.pop(), None);
+        prop_assert_eq!(got_single, got_batched);
+    }
+
+    /// Splice-order invariance: however a serial emission stream is cut
+    /// into per-point chunks (including empty points and points larger
+    /// than the ring), capturing the chunks through one reused worker
+    /// ring and absorbing them in order reproduces the serial ring —
+    /// retained window, sequence numbers, and eviction count.
+    #[test]
+    fn owned_splice_is_invariant_to_chunking(
+        cap in 1usize..12,
+        chunk_lens in proptest::collection::vec(0u64..30, 1..14),
+    ) {
+        let mut serial = TraceRing::new(cap);
+        let mut addr = 0u64;
+        for &n in &chunk_lens {
+            for _ in 0..n {
+                serial.push(Time::from_nanos(addr), TraceEvent::LlcPush { addr });
+                addr += 1;
+            }
+        }
+
+        let mut worker = TraceRing::new(cap);
+        let mut captures = Vec::new();
+        let mut addr = 0u64;
+        for &n in &chunk_lens {
+            for _ in 0..n {
+                worker.push(Time::from_nanos(addr), TraceEvent::LlcPush { addr });
+                addr += 1;
+            }
+            captures.push(worker.take_point());
+        }
+        let mut merged = TraceRing::new(cap);
+        merged.absorb(captures);
+
+        prop_assert_eq!(merged.to_vec(), serial.to_vec());
+        prop_assert_eq!(merged.dropped(), serial.dropped());
+        prop_assert_eq!(merged.len(), serial.len());
+    }
+
     /// Popping the queue always yields non-decreasing timestamps,
     /// regardless of insertion order.
     #[test]

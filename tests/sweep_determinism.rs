@@ -46,7 +46,7 @@ fn assert_rows_equal(a: &[Fig4Row], b: &[Fig4Row], threads: usize) {
 fn fig4_sweep_is_byte_identical_across_thread_counts() {
     let (rows1, trace1, dropped1) = fig4_traced(1);
     assert!(!trace1.is_empty(), "fig4 emits protocol trace events");
-    for threads in [2, 4, sweep::max_threads().max(3)] {
+    for threads in [2, 4, 8, 16, sweep::max_threads().max(3)] {
         let (rows_n, trace_n, dropped_n) = fig4_traced(threads);
         assert_rows_equal(&rows1, &rows_n, threads);
         assert_eq!(trace1, trace_n, "trace JSONL diverged at {threads} threads");
@@ -71,7 +71,7 @@ fn duplex_sweep_is_byte_identical_across_thread_counts() {
         trace1.contains("\"kind\":\"flow-op\""),
         "duplex emits flow-op trace events"
     );
-    for threads in [2, 4] {
+    for threads in [2, 4, 8, 16] {
         let (rows_n, trace_n, dropped_n) = run(threads);
         assert_eq!(rows1.len(), rows_n.len());
         for (a, b) in rows1.iter().zip(&rows_n) {
@@ -109,7 +109,7 @@ fn fault_sweep_traces_are_byte_identical_across_thread_counts() {
         trace1.contains("\"kind\":\"link-retry\""),
         "LRSM replays must land in the trace"
     );
-    for threads in [2, 4] {
+    for threads in [2, 4, 8, 16] {
         let (rows_n, trace_n, dropped_n) = run(threads);
         assert_eq!(rows1.len(), rows_n.len());
         for (a, b) in rows1.iter().zip(&rows_n) {
@@ -145,7 +145,7 @@ fn counter_sweep(threads: usize, points: usize) -> String {
 #[test]
 fn counter_snapshots_merge_deterministically() {
     let serial = counter_sweep(1, 23);
-    for threads in [2, 4, 8] {
+    for threads in [2, 4, 8, 16] {
         assert_eq!(serial, counter_sweep(threads, 23), "threads={threads}");
     }
 }
@@ -174,7 +174,44 @@ fn ring_wraparound_splices_identically() {
     };
     let (serial, dropped1) = run(1);
     assert!(dropped1 > 0, "the ring must actually wrap");
-    for threads in [2, 4] {
+    for threads in [2, 4, 8, 16] {
+        let (parallel, dropped_n) = run(threads);
+        assert_eq!(serial, parallel, "threads={threads}");
+        assert_eq!(dropped1, dropped_n, "threads={threads}");
+    }
+}
+
+/// Wraparound under contention: far more points than workers, a ring so
+/// small every point evicts most of its own events, uneven per-point
+/// emission (some points silent, some flooding), and thread counts well
+/// above the core count so workers fight over the point queue. The
+/// owned-chunk splice must still reconstruct the serial ring byte for
+/// byte, including the drop count.
+#[test]
+fn ring_wraparound_under_contention_is_deterministic() {
+    let run = |threads: usize| {
+        trace::install(6);
+        sweep::run_with_threads(threads, 64, |i| {
+            // Point sizes 0..=12 events: empties, sub-ring points, and
+            // points several times the ring capacity interleave.
+            let n = (i * 7) % 13;
+            for k in 0..n as u64 {
+                trace::emit(
+                    Time::from_nanos((i as u64) * 500 + k),
+                    TraceEvent::Request {
+                        lane: Lane::H2d,
+                        op: OpKind::CoWr,
+                        addr: ((i as u64) << 16) | k,
+                    },
+                );
+            }
+        });
+        let (events, dropped) = trace::take_captured();
+        (trace::to_jsonl(&events), dropped)
+    };
+    let (serial, dropped1) = run(1);
+    assert!(dropped1 > 0, "the ring must actually wrap");
+    for threads in [2, 4, 8, 16] {
         let (parallel, dropped_n) = run(threads);
         assert_eq!(serial, parallel, "threads={threads}");
         assert_eq!(dropped1, dropped_n, "threads={threads}");
