@@ -1,0 +1,104 @@
+//! Benchmark harness for the multi-device interleave sweep. Emits a
+//! machine-readable [`BenchReport`] (`BENCH_fabric.json` is the
+//! committed baseline) and, with `--check`, fails when a tracked
+//! scenario regresses beyond tolerance.
+//!
+//! Usage:
+//!   bench_fabric [--out PATH] [--check BASELINE] [--tolerance FRAC]
+//!
+//! Unlike the wall-clock harnesses, every tracked figure here is
+//! *simulated* nanoseconds per MiB stored — deterministic on any
+//! machine, so the default tolerance can stay tight. `*_speedup_*`
+//! entries are unitless aggregate-bandwidth scaling ratios, recorded
+//! for visibility and never regression-checked.
+
+use criterion::report::BenchReport;
+use cxl_bench::fabric::{run_fabric_sweep_with_threads, DEFAULT_LINES};
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.05f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next(),
+            "--check" => check_path = args.next(),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance FRAC");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_fabric [--out PATH] [--check BASELINE] [--tolerance FRAC]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = BenchReport::new();
+    let points = run_fabric_sweep_with_threads(1, DEFAULT_LINES);
+    let mib = (DEFAULT_LINES as f64 * 64.0) / (1024.0 * 1024.0);
+
+    println!("== fabric interleave sweep ({DEFAULT_LINES} lines) ==");
+    let mut base_gbps = None;
+    for p in &points {
+        let name = format!("fabric_ns_per_mib_{}dev_{}way", p.devices, p.ways);
+        let ns_per_mib = p.sim_ns / mib;
+        report.record(&name, ns_per_mib);
+        println!(
+            "  {:<28} {:>12.0} ns/MiB   ({:.2} GB/s)",
+            name, ns_per_mib, p.gbps
+        );
+        if p.devices == 1 && p.ways == 1 {
+            base_gbps = Some(p.gbps);
+        }
+    }
+    if let Some(base) = base_gbps {
+        for p in points
+            .iter()
+            .filter(|p| p.ways as usize == p.devices && p.devices > 1)
+        {
+            let name = format!("fabric_speedup_{}dev_{}way", p.devices, p.ways);
+            let ratio = p.gbps / base;
+            report.record(&name, ratio);
+            println!("  {:<28} {:>12.2} x", name, ratio);
+        }
+    }
+
+    if let Some(path) = &out_path {
+        std::fs::write(path, report.to_json()).expect("write report");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let baseline_json = std::fs::read_to_string(path).expect("read baseline");
+        let baseline = BenchReport::from_json(&baseline_json).expect("parse baseline");
+        let regs = report.regressions(&baseline, tolerance);
+        if regs.is_empty() {
+            println!(
+                "baseline check: ok ({} tracked scenarios within {:.0}%)",
+                baseline
+                    .scenarios
+                    .iter()
+                    .filter(|s| !s.name.contains("speedup"))
+                    .count(),
+                tolerance * 100.0
+            );
+        } else {
+            for r in &regs {
+                eprintln!(
+                    "REGRESSION {}: {:.0} -> {:.0} ({:.2}x, tolerance {:.0}%)",
+                    r.name,
+                    r.baseline_ns,
+                    r.current_ns,
+                    r.ratio,
+                    tolerance * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates the fabric interleave table (aggregate store bandwidth
+//! over 1/2/4 devices at 1/2/4-way HDM interleave). Accepts an optional
+//! store-stream length in lines and `--trace-out <path>` to export the
+//! run's protocol trace; thread count follows `CXL_SIM_THREADS`.
+
+use cxl_bench::fabric::{print_fabric, run_fabric_sweep, DEFAULT_LINES};
+use cxl_bench::traceopt::TraceOut;
+
+fn main() {
+    let (args, trace_out) = TraceOut::from_env();
+    let lines = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_LINES);
+    let points = run_fabric_sweep(lines);
+    print_fabric(&points);
+    trace_out.finish();
+}

@@ -43,6 +43,41 @@ pub fn table3_case_trace(req: RequestType, case: &str) -> Vec<TimedEvent> {
     trace::uninstall()
 }
 
+/// [`table3_case_trace`] with the platform built from the degenerate
+/// 1-host × 1-device [`TopologySpec`](sim_core::topology::TopologySpec)
+/// instead of the hand-wired constructors. Returns the trace plus the
+/// device's counter snapshot, so invariance tests can pin both: the
+/// topology-described path must be *byte-identical* to the legacy one.
+pub fn table3_case_trace_from_spec(
+    req: RequestType,
+    case: &str,
+) -> (Vec<TimedEvent>, Vec<(&'static str, u64)>) {
+    use cxl_type2::addr::{hdm_spec, DEFAULT_INTERLEAVE_BYTES};
+    use cxl_type2::platform::Platform;
+    let spec = hdm_spec(1, 1, DEFAULT_INTERLEAVE_BYTES);
+    let Platform { mut host, mut dev } =
+        Platform::from_spec(&spec).expect("the 1x1 spec is statically valid");
+    let a = host_line((1u64 << 24) + 64);
+    trace::install(4096);
+    stage_table3_case(&mut host, &mut dev, a, case);
+    trace::clear();
+    dev.d2h(req, a, Time::from_nanos(1_000), &mut host);
+    let events = trace::uninstall();
+    let counters = dev.counters().iter().collect();
+    (events, counters)
+}
+
+/// The device counter snapshot of one legacy-constructed Table III run
+/// (the invariance baseline for [`table3_case_trace_from_spec`]).
+pub fn table3_case_counters(req: RequestType, case: &str) -> Vec<(&'static str, u64)> {
+    let mut host = Socket::xeon_6538y();
+    let mut dev = CxlDevice::agilex7();
+    let a = host_line((1u64 << 24) + 64);
+    stage_table3_case(&mut host, &mut dev, a, case);
+    dev.d2h(req, a, Time::from_nanos(1_000), &mut host);
+    dev.counters().iter().collect()
+}
+
 /// All 18 Table III (request, case, trace) triples in row order.
 pub fn table3_traces() -> Vec<(RequestType, &'static str, Vec<TimedEvent>)> {
     let mut out = Vec::with_capacity(18);
@@ -66,6 +101,25 @@ pub fn fig7_cxl_zswap_trace(seed: u64) -> Vec<TimedEvent> {
     let mut zswap = Zswap::new(
         ZswapConfig::kernel_default(64 * PAGE_SIZE as u64),
         CxlBackend::agilex7(),
+    );
+    trace::install(1 << 16);
+    let _ = zswap.store(SwapKey(7), &page, Time::ZERO, &mut host);
+    trace::uninstall()
+}
+
+/// [`fig7_cxl_zswap_trace`] with the backing device built from the
+/// degenerate 1×1 topology spec.
+pub fn fig7_cxl_zswap_trace_from_spec(seed: u64) -> Vec<TimedEvent> {
+    use cxl_type2::addr::{hdm_spec, DEFAULT_INTERLEAVE_BYTES};
+    use cxl_type2::platform::Platform;
+    let spec = hdm_spec(1, 1, DEFAULT_INTERLEAVE_BYTES);
+    let platform = Platform::from_spec(&spec).expect("the 1x1 spec is statically valid");
+    let mut rng = SimRng::seed_from(seed);
+    let page = PageContent::Text.generate(&mut rng);
+    let mut host = platform.host;
+    let mut zswap = Zswap::new(
+        ZswapConfig::kernel_default(64 * PAGE_SIZE as u64),
+        CxlBackend::with_device(platform.dev),
     );
     trace::install(1 << 16);
     let _ = zswap.store(SwapKey(7), &page, Time::ZERO, &mut host);

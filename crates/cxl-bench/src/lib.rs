@@ -25,6 +25,7 @@
 
 pub mod ablations;
 pub mod duplex;
+pub mod fabric;
 pub mod fault;
 pub mod fig3;
 pub mod fig4;

@@ -1,0 +1,521 @@
+//! A topology-described fabric of CXL devices behind one (or more) hosts.
+//!
+//! [`Fabric`] generalizes [`Platform`](crate::platform::Platform) from
+//! "one socket bolted to one card" to N devices — each with its own DCOH
+//! slices, LSU ports, links, and memory channels — built from a
+//! declarative [`TopologySpec`] and addressed through the HDM decoders of
+//! [`addr`](crate::addr). Host-side accesses decode first: device-space
+//! addresses route to the owning card's H2D pipeline at the device-local
+//! address, host-space addresses back-snoop *every* Type-2 card's HMC
+//! (each one is a CXL.cache agent in the host's snoop filter) before the
+//! local access proceeds.
+//!
+//! The degenerate 1×1 fabric is byte-identical to `Platform`: the
+//! identity decode hands each device address back unchanged, no
+//! fabric-route events are emitted, and the recall loop visits exactly
+//! one device — the regression pin `tests/golden_trace.rs` enforces.
+
+use cxl_proto::link::cxl_x16;
+use cxl_proto::request::RequestType;
+use host::burst::BurstResult;
+use host::hdm::AddressRouter;
+use host::socket::{Access, Socket};
+use mem_subsys::coherence::MesiState;
+use mem_subsys::line::LineAddr;
+use sim_core::port::PortEngine;
+use sim_core::time::{Duration, Time};
+use sim_core::topology::{DeviceId, DeviceKind, Topology, TopologyError, TopologySpec};
+use sim_core::trace::{self, CounterRegistry, Lane, SnoopKind, TraceEvent};
+use sim_core::traffic::FlowSpec;
+
+use crate::addr::{self, is_device_addr, DEFAULT_INTERLEAVE_BYTES};
+use crate::device::{CxlDevice, DeviceAccess};
+
+/// Static per-device counter keys (`CounterRegistry` wants `&'static
+/// str`); devices past the table share the last slot.
+const ROUTED_KEYS: [&str; 8] = [
+    "fabric.dev0.routed",
+    "fabric.dev1.routed",
+    "fabric.dev2.routed",
+    "fabric.dev3.routed",
+    "fabric.dev4.routed",
+    "fabric.dev5.routed",
+    "fabric.dev6.routed",
+    "fabric.dev7.routed",
+];
+
+/// One fabric-wide concurrent burst: the aggregate envelope plus how many
+/// lines each device absorbed.
+#[derive(Debug, Clone)]
+pub struct FabricBurst {
+    /// First-issue / last-completion envelope and per-op latencies (in
+    /// submission order).
+    pub result: BurstResult,
+    /// Lines served by each device, in id order.
+    pub per_device_lines: Vec<u64>,
+}
+
+/// N hosts and N devices wired by a validated topology.
+#[derive(Debug)]
+pub struct Fabric {
+    /// Host sockets, in topology id order.
+    pub hosts: Vec<Socket>,
+    /// Devices, in topology id order.
+    pub devs: Vec<CxlDevice>,
+    topo: Topology,
+    router: AddressRouter,
+    counters: CounterRegistry,
+}
+
+impl Fabric {
+    /// Builds sockets and cards from a validated spec.
+    pub fn from_spec(spec: &TopologySpec) -> Result<Self, TopologyError> {
+        let topo = spec.resolve()?;
+        let hosts = topo.hosts().iter().map(|_| Socket::xeon_6538y()).collect();
+        let devs = topo
+            .devices()
+            .iter()
+            .map(|d| match d.kind {
+                DeviceKind::Type2 => CxlDevice::agilex7_with_slices(d.dcoh_slices),
+                DeviceKind::Type3 => CxlDevice::agilex7_type3(),
+            })
+            .collect();
+        let router = AddressRouter::new(topo.decoders().clone());
+        Ok(Fabric {
+            hosts,
+            devs,
+            topo,
+            router,
+            counters: CounterRegistry::new(),
+        })
+    }
+
+    /// The paper's testbed as a fabric: the degenerate 1-host × 1-device
+    /// topology with the identity decode.
+    pub fn agilex7_testbed() -> Self {
+        Fabric::from_spec(&addr::hdm_spec(1, 1, DEFAULT_INTERLEAVE_BYTES))
+            .expect("the 1x1 spec is statically valid")
+    }
+
+    /// `devices` identical cards interleaved `ways`-wide at 256 B.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` does not divide `devices` (decoder windows
+    /// interleave whole device groups).
+    pub fn symmetric(devices: usize, ways: u8) -> Self {
+        Fabric::from_spec(&addr::hdm_spec(devices, ways, DEFAULT_INTERLEAVE_BYTES))
+            .expect("symmetric specs are statically valid")
+    }
+
+    /// The resolved topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Fabric-level routing counters (`fabric.devN.routed`). Per-device
+    /// protocol counters stay on each device: [`Fabric::device_counters`].
+    pub fn counters(&self) -> &CounterRegistry {
+        &self.counters
+    }
+
+    /// The protocol counters of one device.
+    pub fn device_counters(&self, id: DeviceId) -> &CounterRegistry {
+        self.devs[id.0 as usize].counters()
+    }
+
+    /// An LSU-bound traffic flow on one device, carrying the device id as
+    /// its endpoint so reports split per device.
+    pub fn lsu_flow(&self, id: DeviceId, name: &'static str) -> FlowSpec {
+        self.devs[id.0 as usize].lsu_flow(name).on_device(id)
+    }
+
+    /// An H2D-ingress-bound traffic flow on one device.
+    pub fn h2d_ingress_flow(&self, id: DeviceId, name: &'static str) -> FlowSpec {
+        self.devs[id.0 as usize]
+            .h2d_ingress_flow(name)
+            .on_device(id)
+    }
+
+    /// Decodes a host-physical address and accounts the route. In
+    /// multi-device fabrics a `fabric-route` trace event records the
+    /// device dimension; the 1×1 fabric emits nothing so singleton traces
+    /// stay byte-identical.
+    pub fn route(&mut self, addr: LineAddr, now: Time) -> Option<(DeviceId, LineAddr)> {
+        let (id, local) = addr::decode(self.router.decoders(), addr)?;
+        self.counters.incr("fabric.routed");
+        self.counters
+            .incr(ROUTED_KEYS[(id.0 as usize).min(ROUTED_KEYS.len() - 1)]);
+        if self.devs.len() > 1 {
+            trace::emit(
+                now,
+                TraceEvent::FabricRoute {
+                    device: id.0,
+                    hpa: addr.index(),
+                    dpa: local.index(),
+                    way: self
+                        .router
+                        .decoders()
+                        .decode(addr.index())
+                        .map(|d| d.way)
+                        .unwrap_or(0),
+                },
+            );
+        }
+        Some((id, local))
+    }
+
+    /// The back-snoop round-trip cost of recalling a line from one
+    /// device's HMC (a CXL.cache H2D snoop + D2H response).
+    fn back_snoop_cost(dev: &CxlDevice) -> Duration {
+        cxl_x16().unloaded_latency(0) + cxl_x16().unloaded_latency(64) + dev.timing.dcoh_lookup
+    }
+
+    /// Recalls `addr` from every device HMC that holds it, for a host
+    /// *read*: M/E copies degrade to Shared (dirty data forwarded).
+    fn recall_for_read(&mut self, h: usize, addr: LineAddr, now: Time) -> Duration {
+        let host = &mut self.hosts[h];
+        let mut extra = Duration::ZERO;
+        for dev in self.devs.iter_mut() {
+            match dev.hmc_state(addr) {
+                Some(MesiState::Modified) => {
+                    trace::emit(
+                        now,
+                        TraceEvent::Snoop {
+                            kind: SnoopKind::BackInvalidate,
+                            addr: addr.index(),
+                            hit: true,
+                            dirty: true,
+                        },
+                    );
+                    dev.writeback_and_degrade(addr, now, host);
+                    extra += Self::back_snoop_cost(dev);
+                }
+                Some(MesiState::Exclusive) => {
+                    trace::emit(
+                        now,
+                        TraceEvent::Snoop {
+                            kind: SnoopKind::BackInvalidate,
+                            addr: addr.index(),
+                            hit: true,
+                            dirty: false,
+                        },
+                    );
+                    dev.degrade_hmc(addr);
+                    extra += Self::back_snoop_cost(dev);
+                }
+                _ => {}
+            }
+        }
+        extra
+    }
+
+    /// Recalls `addr` for a host *write*: all device copies invalidate
+    /// (dirty data forwarded first).
+    fn recall_for_write(&mut self, h: usize, addr: LineAddr, now: Time) -> Duration {
+        let host = &mut self.hosts[h];
+        let mut extra = Duration::ZERO;
+        for dev in self.devs.iter_mut() {
+            if let Some(state) = dev.hmc_state(addr) {
+                trace::emit(
+                    now,
+                    TraceEvent::Snoop {
+                        kind: SnoopKind::BackInvalidate,
+                        addr: addr.index(),
+                        hit: true,
+                        dirty: state.is_dirty(),
+                    },
+                );
+                if state.is_dirty() {
+                    dev.writeback_and_degrade(addr, now, host);
+                }
+                dev.invalidate_hmc(addr);
+                extra += Self::back_snoop_cost(dev);
+            }
+        }
+        extra
+    }
+
+    fn assert_decoded(&self, addr: LineAddr) {
+        assert!(
+            !is_device_addr(addr),
+            "device address {addr} is not covered by any HDM decoder"
+        );
+    }
+
+    /// Coherent host load from host 0: decodes, then either the owning
+    /// device's H2D pipeline or the fabric-wide recall + local access.
+    pub fn host_load(&mut self, addr: LineAddr, now: Time) -> Access {
+        if let Some((id, local)) = self.route(addr, now) {
+            let acc = self.devs[id.0 as usize].h2d_load(local, now, &mut self.hosts[0]);
+            return Access {
+                completion: acc.completion,
+                level: host::hierarchy::HitLevel::Memory,
+            };
+        }
+        self.assert_decoded(addr);
+        let extra = self.recall_for_read(0, addr, now);
+        self.hosts[0].load(addr, now + extra)
+    }
+
+    /// Coherent host store from host 0.
+    pub fn host_store(&mut self, addr: LineAddr, now: Time) -> Access {
+        if let Some((id, local)) = self.route(addr, now) {
+            let acc = self.devs[id.0 as usize].h2d_store(local, now, &mut self.hosts[0]);
+            return Access {
+                completion: acc.completion,
+                level: host::hierarchy::HitLevel::Memory,
+            };
+        }
+        self.assert_decoded(addr);
+        let extra = self.recall_for_write(0, addr, now);
+        self.hosts[0].store(addr, now + extra)
+    }
+
+    /// Coherent host non-temporal store from host 0. A full-line
+    /// overwrite needs no dirty data back, only invalidation.
+    pub fn host_nt_store(&mut self, addr: LineAddr, now: Time) -> Access {
+        if let Some((id, local)) = self.route(addr, now) {
+            let acc = self.devs[id.0 as usize].h2d_nt_store(local, now, &mut self.hosts[0]);
+            return Access {
+                completion: acc.completion,
+                level: host::hierarchy::HitLevel::Memory,
+            };
+        }
+        self.assert_decoded(addr);
+        let mut extra = Duration::ZERO;
+        for dev in self.devs.iter_mut() {
+            if let Some(state) = dev.hmc_state(addr) {
+                trace::emit(
+                    now,
+                    TraceEvent::Snoop {
+                        kind: SnoopKind::BackInvalidate,
+                        addr: addr.index(),
+                        hit: true,
+                        dirty: state.is_dirty(),
+                    },
+                );
+                dev.invalidate_hmc(addr);
+                extra += Self::back_snoop_cost(dev);
+            }
+        }
+        self.hosts[0].nt_store(addr, now + extra)
+    }
+
+    /// Coherent CLFLUSH from host 0, covering all agents. Dirty
+    /// device-memory lines write back over CXL into the owning device.
+    pub fn host_clflush(&mut self, addr: LineAddr, now: Time) -> Time {
+        if let Some((id, local)) = self.route(addr, now) {
+            let dirty = self.hosts[0].caches.flush_line(addr);
+            let t = now + self.hosts[0].timing.issue + self.hosts[0].timing.cacheline_op;
+            if dirty {
+                return self.devs[id.0 as usize].writeback_device_line(local, t);
+            }
+            return t;
+        }
+        self.assert_decoded(addr);
+        let extra = self.recall_for_write(0, addr, now);
+        self.hosts[0].clflush(addr, now + extra)
+    }
+
+    /// A device-initiated access on one card, against host 0's memory
+    /// (D2H) — the fabric-aware form of `CxlDevice::d2h`.
+    pub fn d2h(
+        &mut self,
+        id: DeviceId,
+        req: RequestType,
+        addr: LineAddr,
+        now: Time,
+    ) -> DeviceAccess {
+        self.devs[id.0 as usize].d2h(req, addr, now, &mut self.hosts[0])
+    }
+
+    /// A device-local (D2D) access on one card at a *host-physical*
+    /// device-space address: decodes to the owning card first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` does not decode, or decodes to a different device
+    /// than `id` expects (`None` routes aren't device memory).
+    pub fn d2d(&mut self, req: RequestType, addr: LineAddr, now: Time) -> DeviceAccess {
+        let (id, local) = self
+            .route(addr, now)
+            .unwrap_or_else(|| panic!("{addr} is not HDM-mapped device memory"));
+        self.devs[id.0 as usize].d2d(req, local, now, &mut self.hosts[0])
+    }
+
+    /// Flips `lines` starting at host-physical `addr` into device bias on
+    /// their owning cards (decoding line by line, so interleaved ranges
+    /// flip on every card they touch). Returns the last completion.
+    pub fn enter_device_bias(&mut self, addr: LineAddr, lines: u64, now: Time) -> Time {
+        let mut t = now;
+        let mut i = 0;
+        while i < lines {
+            let hpa = LineAddr::new(addr.index() + i);
+            let (id, local) = self
+                .route(hpa, t)
+                .unwrap_or_else(|| panic!("{hpa} is not HDM-mapped device memory"));
+            t = self.devs[id.0 as usize].enter_device_bias(local, 1, t, &mut self.hosts[0]);
+            i += 1;
+        }
+        t
+    }
+
+    /// Issues one D2D request per host-physical line as concurrent
+    /// transactions across the whole fabric: one engine port per (device,
+    /// DCOH slice), each line routed by the HDM decode, every device's
+    /// memory channels progressing in parallel. `mlp` caps the per-slice
+    /// outstanding window, exactly like `Lsu::concurrent_burst` on one
+    /// card — this is the Fig. 4 store stream generalized to N devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is empty, `mlp` is zero, or any line fails to
+    /// decode.
+    pub fn concurrent_d2d_burst(
+        &mut self,
+        req: RequestType,
+        lines: &[u64],
+        start: Time,
+        mlp: usize,
+    ) -> FabricBurst {
+        assert!(!lines.is_empty(), "burst must contain at least one request");
+        assert!(mlp > 0, "concurrency requires at least one transaction");
+        trace::emit(
+            start,
+            TraceEvent::LsuBurst {
+                lane: Lane::D2d,
+                lines: lines.len() as u64,
+            },
+        );
+        // Route every line first (accounting + trace), then wire one port
+        // per (device, slice) and let the engine interleave all devices.
+        let routed: Vec<(usize, LineAddr)> = lines
+            .iter()
+            .map(|&l| {
+                let hpa = LineAddr::new(l);
+                let (id, local) = self
+                    .route(hpa, start)
+                    .unwrap_or_else(|| panic!("{hpa} is not HDM-mapped device memory"));
+                (id.0 as usize, local)
+            })
+            .collect();
+        let mut engine: PortEngine<usize> = PortEngine::new();
+        let mut ports = Vec::with_capacity(self.devs.len());
+        for dev in &self.devs {
+            let per_slice = mlp.min(dev.timing.dcoh_slice_outstanding);
+            let dev_ports: Vec<_> = dev
+                .slice_ports()
+                .into_iter()
+                .map(|mut spec| {
+                    spec.max_outstanding = spec.max_outstanding.min(per_slice);
+                    engine.add_port(spec)
+                })
+                .collect();
+            ports.push(dev_ports);
+        }
+        for (i, &(d, local)) in routed.iter().enumerate() {
+            engine.submit(ports[d][self.devs[d].slice_of(local)], start, i);
+        }
+        let hosts = &mut self.hosts;
+        let devs = &mut self.devs;
+        let done = engine.run(|_, &i, t| {
+            let (d, local) = routed[i];
+            devs[d].d2d(req, local, t, &mut hosts[0]).completion
+        });
+        let mut per_device_lines = vec![0u64; self.devs.len()];
+        let mut first_issue = done.first().map(|c| c.issued).unwrap_or(start);
+        let mut last_completion = start;
+        let mut latencies = vec![Duration::ZERO; lines.len()];
+        for c in &done {
+            first_issue = first_issue.min(c.issued);
+            latencies[c.payload] = c.completed.duration_since(c.issued);
+            last_completion = last_completion.max(c.completed);
+            per_device_lines[routed[c.payload].0] += 1;
+        }
+        FabricBurst {
+            result: BurstResult {
+                first_issue,
+                last_completion,
+                latencies,
+            },
+            per_device_lines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{device_line, host_line, DEVICE_MEM_BASE};
+    use crate::platform::Platform;
+
+    #[test]
+    fn one_by_one_fabric_matches_platform_timing() {
+        let mut fab = Fabric::agilex7_testbed();
+        let mut p = Platform::agilex7_testbed();
+        let host_a = host_line(4096);
+        let dev_a = device_line(64);
+        for (f, q) in [
+            (
+                fab.host_store(host_a, Time::ZERO).completion,
+                p.host_store(host_a, Time::ZERO).completion,
+            ),
+            (
+                fab.host_load(dev_a, Time::from_nanos(10_000)).completion,
+                p.host_load(dev_a, Time::from_nanos(10_000)).completion,
+            ),
+            (
+                fab.host_nt_store(dev_a, Time::from_nanos(20_000))
+                    .completion,
+                p.host_nt_store(dev_a, Time::from_nanos(20_000)).completion,
+            ),
+        ] {
+            assert_eq!(f, q, "degenerate fabric must reproduce Platform exactly");
+        }
+    }
+
+    #[test]
+    fn host_store_recalls_every_devices_copy() {
+        let mut fab = Fabric::symmetric(2, 2);
+        let a = host_line(777);
+        fab.d2h(DeviceId(0), RequestType::CO_RD, a, Time::ZERO);
+        fab.d2h(DeviceId(1), RequestType::CS_RD, a, Time::from_nanos(1_000));
+        assert!(fab.devs[0].hmc_state(a).is_some());
+        assert!(fab.devs[1].hmc_state(a).is_some());
+        fab.host_store(a, Time::from_nanos(10_000));
+        assert_eq!(fab.devs[0].hmc_state(a), None);
+        assert_eq!(fab.devs[1].hmc_state(a), None);
+    }
+
+    #[test]
+    fn interleaved_stores_land_on_alternating_devices() {
+        let mut fab = Fabric::symmetric(2, 2);
+        // 256 B granularity = 4 lines per granule.
+        for i in 0..8u64 {
+            fab.host_store(LineAddr::new(DEVICE_MEM_BASE + i * 4), Time::ZERO);
+        }
+        let c0 = fab.device_counters(DeviceId(0)).get("device.h2d.requests");
+        let c1 = fab.device_counters(DeviceId(1)).get("device.h2d.requests");
+        assert_eq!((c0, c1), (4, 4));
+        assert_eq!(fab.counters().get("fabric.dev0.routed"), 4);
+        assert_eq!(fab.counters().get("fabric.dev1.routed"), 4);
+    }
+
+    #[test]
+    fn fabric_burst_spreads_lines_by_decode() {
+        let mut fab = Fabric::symmetric(4, 4);
+        let lines: Vec<u64> = (0..64).map(|i| DEVICE_MEM_BASE + i * 4).collect();
+        let burst = fab.concurrent_d2d_burst(RequestType::NC_WR, &lines, Time::ZERO, 8);
+        assert_eq!(burst.per_device_lines, vec![16, 16, 16, 16]);
+        assert!(burst.result.last_completion > Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "not covered by any HDM decoder")]
+    fn unmapped_device_addresses_rejected() {
+        let mut fab = Fabric::agilex7_testbed();
+        // Beyond the 32 GiB window: device space but no decoder.
+        fab.host_load(device_line(crate::addr::HDM_WINDOW_LINES), Time::ZERO);
+    }
+}

@@ -41,6 +41,7 @@
 pub mod addr;
 pub mod dcoh;
 pub mod device;
+pub mod fabric;
 pub mod lsu;
 pub mod occupancy;
 pub mod platform;
@@ -52,6 +53,7 @@ pub mod transfer;
 pub mod prelude {
     pub use crate::addr::{device_line, host_line, is_device_addr, DEVICE_MEM_BASE};
     pub use crate::device::{CxlDevice, DeviceAccess};
+    pub use crate::fabric::{Fabric, FabricBurst};
     pub use crate::lsu::{BurstTarget, Lsu};
     pub use crate::occupancy::SliceOccupancy;
     pub use crate::platform::Platform;

@@ -60,6 +60,32 @@ impl Platform {
         Platform { host, dev }
     }
 
+    /// Builds the platform as the degenerate 1-host × 1-device case of a
+    /// [`TopologySpec`](sim_core::topology::TopologySpec) — the golden
+    /// traces pin this path to the hand-wired [`Platform::agilex7_testbed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's validation error, or
+    /// [`TopologyError::NotSingleton`] if the spec describes more than one
+    /// host or device (use [`Fabric`](crate::fabric::Fabric) for those).
+    pub fn from_spec(
+        spec: &sim_core::topology::TopologySpec,
+    ) -> Result<Self, sim_core::topology::TopologyError> {
+        let fabric = crate::fabric::Fabric::from_spec(spec)?;
+        let (mut hosts, mut devs) = (fabric.hosts, fabric.devs);
+        if hosts.len() != 1 || devs.len() != 1 {
+            return Err(sim_core::topology::TopologyError::NotSingleton {
+                hosts: hosts.len(),
+                devices: devs.len(),
+            });
+        }
+        Ok(Platform {
+            host: hosts.pop().expect("checked length"),
+            dev: devs.pop().expect("checked length"),
+        })
+    }
+
     /// The back-snoop round-trip cost when the host must recall a line
     /// from the device (a CXL.cache H2D snoop + D2H response).
     fn back_snoop_cost(&self) -> Duration {

@@ -1,0 +1,100 @@
+//! Host-side HDM address routing.
+//!
+//! A real root complex decodes every physical address against its HDM
+//! decoders *before* deciding where the request goes: host DRAM, a UPI
+//! peer, or a CXL.mem target. [`AddressRouter`] is that decode step,
+//! built from a resolved topology's [`DecoderSet`], so host layers route
+//! remote accesses by decoder programming instead of a fixed device
+//! handle. The device models themselves live above this crate
+//! (`cxl-type2`); the router only answers *which* device a line belongs
+//! to and at what device-local address.
+
+use mem_subsys::line::LineAddr;
+use sim_core::topology::{Decoded, DecoderSet, DeviceId};
+
+/// Where a physical address is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemTarget {
+    /// Host-attached DRAM (no decoder window matched).
+    HostDram,
+    /// A fabric device, with the full decode result.
+    Device(Decoded),
+}
+
+/// The host's view of the fabric address map.
+///
+/// # Examples
+///
+/// ```
+/// use host::hdm::{AddressRouter, MemTarget};
+/// use mem_subsys::line::LineAddr;
+/// use sim_core::topology::TopologySpec;
+///
+/// let topo = TopologySpec::symmetric(2, 2, 1 << 30, 1 << 20, 256)
+///     .resolve()
+///     .unwrap();
+/// let router = AddressRouter::new(topo.decoders().clone());
+/// assert_eq!(router.classify(LineAddr::new(7)), MemTarget::HostDram);
+/// assert!(matches!(
+///     router.classify(LineAddr::new(1 << 30)),
+///     MemTarget::Device(_)
+/// ));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddressRouter {
+    decoders: DecoderSet,
+}
+
+impl AddressRouter {
+    /// A router over the given decoder programming.
+    pub fn new(decoders: DecoderSet) -> Self {
+        AddressRouter { decoders }
+    }
+
+    /// The underlying decoder set.
+    pub fn decoders(&self) -> &DecoderSet {
+        &self.decoders
+    }
+
+    /// Classifies a line address: device if any HDM window matches, host
+    /// DRAM otherwise.
+    pub fn classify(&self, addr: LineAddr) -> MemTarget {
+        match self.decoders.decode(addr.index()) {
+            Some(d) => MemTarget::Device(d),
+            None => MemTarget::HostDram,
+        }
+    }
+
+    /// The device a line decodes to, if any.
+    pub fn device_of(&self, addr: LineAddr) -> Option<DeviceId> {
+        self.decoders.decode(addr.index()).map(|d| d.device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::topology::TopologySpec;
+
+    #[test]
+    fn classify_splits_host_and_device_space() {
+        let topo = TopologySpec::symmetric(4, 4, 1 << 20, 1 << 12, 512)
+            .resolve()
+            .unwrap();
+        let r = AddressRouter::new(topo.decoders().clone());
+        assert_eq!(r.classify(LineAddr::new(0)), MemTarget::HostDram);
+        assert_eq!(r.device_of(LineAddr::new((1 << 20) - 1)), None);
+        // 512 B granularity = 8 lines per way granule.
+        assert_eq!(r.device_of(LineAddr::new(1 << 20)), Some(DeviceId(0)));
+        assert_eq!(r.device_of(LineAddr::new((1 << 20) + 8)), Some(DeviceId(1)));
+    }
+
+    #[test]
+    fn default_router_maps_everything_to_host() {
+        let r = AddressRouter::default();
+        assert_eq!(
+            r.classify(LineAddr::new(u64::MAX >> 8)),
+            MemTarget::HostDram
+        );
+    }
+}

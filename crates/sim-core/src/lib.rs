@@ -30,6 +30,7 @@ pub mod rng;
 pub mod stats;
 pub mod sweep;
 pub mod time;
+pub mod topology;
 pub mod trace;
 pub mod traffic;
 
@@ -41,6 +42,7 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::stats::{bandwidth_gbps, Histogram, Samples, Summary};
     pub use crate::time::{ClockDomain, Cycles, Duration, Time, DEVICE_CLOCK, HOST_CLOCK};
+    pub use crate::topology::{Decoded, DecoderSet, DeviceId, DeviceKind, Topology, TopologySpec};
     pub use crate::trace::{CounterRegistry, Span, TimedEvent, TraceEvent};
     pub use crate::traffic::{
         AddressPattern, Arrival, FlowOp, FlowSpec, FlowStats, TrafficReport, TrafficScheduler,

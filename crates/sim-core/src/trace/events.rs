@@ -476,6 +476,19 @@ pub enum TraceEvent {
         /// Line address of the conflicted request.
         addr: u64,
     },
+    /// The HDM decoder routed a host-physical address onto a fabric
+    /// device (multi-device topologies only; the degenerate 1×1 fabric
+    /// stays silent to keep singleton traces byte-identical).
+    FabricRoute {
+        /// Target device id.
+        device: u16,
+        /// Host-physical line address.
+        hpa: u64,
+        /// Device-local line address.
+        dpa: u64,
+        /// Interleave way the address fell on.
+        way: u8,
+    },
     /// A timing scope opened.
     SpanBegin {
         /// Scope name.
@@ -669,6 +682,17 @@ pub(crate) fn write_json_fields(out: &mut String, event: &TraceEvent) {
                 ",\"kind\":\"conflict-abort\",\"slice\":{slice},\"addr\":{addr}"
             )
         }
+        TraceEvent::FabricRoute {
+            device,
+            hpa,
+            dpa,
+            way,
+        } => {
+            write!(
+                out,
+                ",\"kind\":\"fabric-route\",\"device\":{device},\"hpa\":{hpa},\"dpa\":{dpa},\"way\":{way}"
+            )
+        }
         TraceEvent::SpanBegin { name } => {
             write!(out, ",\"kind\":\"span-begin\",\"name\":\"{name}\"")
         }
@@ -784,6 +808,17 @@ pub(crate) fn write_human_event(out: &mut String, event: &TraceEvent) {
         }
         TraceEvent::ConflictAbort { slice, addr } => {
             writeln!(out, "conflict abort slice={slice} addr={addr:#x}")
+        }
+        TraceEvent::FabricRoute {
+            device,
+            hpa,
+            dpa,
+            way,
+        } => {
+            writeln!(
+                out,
+                "fabric route dev{device} way={way} hpa={hpa:#x} dpa={dpa:#x}"
+            )
         }
         TraceEvent::SpanBegin { name } => writeln!(out, "span begin {name}"),
         TraceEvent::SpanEnd { name, elapsed_ps } => {
@@ -1020,6 +1055,12 @@ pub(crate) fn parse_event(r: &FieldReader<'_>) -> Result<TraceEvent, String> {
         "conflict-abort" => TraceEvent::ConflictAbort {
             slice: r.num("slice")? as u32,
             addr: r.num("addr")?,
+        },
+        "fabric-route" => TraceEvent::FabricRoute {
+            device: r.num("device")? as u16,
+            hpa: r.num("hpa")?,
+            dpa: r.num("dpa")?,
+            way: r.num("way")? as u8,
         },
         "span-begin" => TraceEvent::SpanBegin {
             name: intern_name(r.string("name")?),

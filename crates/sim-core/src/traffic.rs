@@ -122,6 +122,10 @@ pub struct FlowSpec {
     pub start: Time,
     /// Bytes moved per op (for achieved-bandwidth reporting).
     pub bytes_per_op: u64,
+    /// Fabric endpoint the flow is bound to: `(device_id, port)` instead
+    /// of an anonymous singleton. `None` keeps the legacy single-device
+    /// accounting (no per-device counters are exported).
+    pub device: Option<crate::topology::DeviceId>,
 }
 
 impl FlowSpec {
@@ -142,7 +146,15 @@ impl FlowSpec {
             requests: 1024,
             start: Time::ZERO,
             bytes_per_op: 64,
+            device: None,
         }
+    }
+
+    /// Binds the flow to a fabric device endpoint: its ops target that
+    /// device and the report exports `traffic.devN.*` counters.
+    pub fn on_device(mut self, device: crate::topology::DeviceId) -> Self {
+        self.device = Some(device);
+        self
     }
 
     /// Open-loop Poisson arrivals with the given mean interarrival.
@@ -312,6 +324,8 @@ impl FlowRt {
 pub struct FlowStats {
     /// The flow's label.
     pub name: &'static str,
+    /// The fabric device the flow was bound to, if any.
+    pub device: Option<crate::topology::DeviceId>,
     /// Ops retired.
     pub ops: u64,
     /// Bytes moved (`ops * bytes_per_op`).
@@ -338,10 +352,38 @@ pub struct FlowStats {
     sojourn: Duration,
 }
 
+/// Static per-device counter keys (`CounterRegistry` keys are `&'static
+/// str`); devices past the table share the last slot.
+const DEV_OPS_KEYS: [&str; 8] = [
+    "traffic.dev0.ops",
+    "traffic.dev1.ops",
+    "traffic.dev2.ops",
+    "traffic.dev3.ops",
+    "traffic.dev4.ops",
+    "traffic.dev5.ops",
+    "traffic.dev6.ops",
+    "traffic.dev7.ops",
+];
+const DEV_BYTES_KEYS: [&str; 8] = [
+    "traffic.dev0.bytes",
+    "traffic.dev1.bytes",
+    "traffic.dev2.bytes",
+    "traffic.dev3.bytes",
+    "traffic.dev4.bytes",
+    "traffic.dev5.bytes",
+    "traffic.dev6.bytes",
+    "traffic.dev7.bytes",
+];
+
+fn dev_key(keys: &'static [&'static str; 8], device: crate::topology::DeviceId) -> &'static str {
+    keys[(device.0 as usize).min(keys.len() - 1)]
+}
+
 impl FlowStats {
-    fn new(name: &'static str) -> Self {
+    fn new(name: &'static str, device: Option<crate::topology::DeviceId>) -> Self {
         FlowStats {
             name,
+            device,
             ops: 0,
             bytes: 0,
             hist: Histogram::new(),
@@ -506,7 +548,10 @@ impl TrafficScheduler {
                 Vec::new()
             },
         );
-        let mut stats: Vec<FlowStats> = flows.iter().map(|f| FlowStats::new(f.spec.name)).collect();
+        let mut stats: Vec<FlowStats> = flows
+            .iter()
+            .map(|f| FlowStats::new(f.spec.name, f.spec.device))
+            .collect();
         let mut counters = CounterRegistry::new();
         for c in &completions {
             let op = &c.payload;
@@ -536,6 +581,13 @@ impl TrafficScheduler {
             }
             counters.incr("traffic.ops");
             counters.add("traffic.bytes", flows[op.flow as usize].spec.bytes_per_op);
+            if let Some(device) = flows[op.flow as usize].spec.device {
+                counters.incr(dev_key(&DEV_OPS_KEYS, device));
+                counters.add(
+                    dev_key(&DEV_BYTES_KEYS, device),
+                    flows[op.flow as usize].spec.bytes_per_op,
+                );
+            }
             trace::emit(
                 c.completed,
                 TraceEvent::FlowOp {
