@@ -1,0 +1,148 @@
+//! Shared plumbing for the `bench_*` binaries: a counting allocator
+//! for allocs-per-point scenarios, min-of-N wall timing, argument
+//! parsing, and the common report epilogue (`--out` / `--check`).
+//!
+//! Each binary used to hand-roll all four; the regression comparison
+//! itself now also has a standalone driver (`bench_check`) that gates
+//! every committed `BENCH_*.json` in one invocation with per-file
+//! tolerances, so CI no longer copy-pastes the check step per harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use criterion::report::BenchReport;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one heap allocation. Called by the allocator shim that
+/// [`counting_allocator!`](crate::counting_allocator) stamps into a
+/// bench binary; not meant to be called directly.
+#[doc(hidden)]
+#[inline]
+pub fn note_alloc() {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Allocation count of one call of `f`, after a warmup call that pays
+/// every lazy one-time cost (thread-local rings, grown buckets). Only
+/// meaningful in a binary that declared
+/// [`counting_allocator!`](crate::counting_allocator); elsewhere it
+/// reports zero.
+pub fn allocs_in(mut f: impl FnMut()) -> u64 {
+    f();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Min wall time of `runs` calls of `f`, in nanoseconds (the
+/// least-noise estimator on a shared CI box).
+pub fn time_min(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Logical cores on this runner, for report metadata.
+pub fn host_cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
+/// The `bench_*` command line: `[--out PATH] [--check BASELINE]
+/// [--tolerance FRAC]`.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// `--out`: where to write the fresh report.
+    pub out_path: Option<String>,
+    /// `--check`: committed baseline to regression-compare against.
+    pub check_path: Option<String>,
+    /// `--tolerance`: allowed fractional slowdown before `--check` fails.
+    pub tolerance: f64,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments; exits with status 2 and a usage
+    /// line naming `binary` on anything unrecognised.
+    pub fn from_env(binary: &str, default_tolerance: f64) -> Self {
+        let mut parsed = BenchArgs {
+            out_path: None,
+            check_path: None,
+            tolerance: default_tolerance,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--out" => parsed.out_path = args.next(),
+                "--check" => parsed.check_path = args.next(),
+                "--tolerance" => {
+                    parsed.tolerance = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--tolerance FRAC");
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    eprintln!("usage: {binary} [--out PATH] [--check BASELINE] [--tolerance FRAC]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        parsed
+    }
+}
+
+/// Compares `fresh` against the baseline at `path`: refuses (exit 1)
+/// when the baseline's recorded core count does not match this
+/// runner's — a 1-core capture must not silently gate a multi-core run
+/// — and fails (exit 1) listing every tracked scenario beyond
+/// `tolerance`.
+pub fn check_against(fresh: &BenchReport, path: &str, tolerance: f64) {
+    let baseline_json = std::fs::read_to_string(path).expect("read baseline");
+    let baseline = BenchReport::from_json(&baseline_json).expect("parse baseline");
+    if let Err(why) = fresh.comparable(&baseline) {
+        eprintln!("REFUSED {path}: {why}");
+        std::process::exit(1);
+    }
+    let regs = fresh.regressions(&baseline, tolerance);
+    if regs.is_empty() {
+        println!(
+            "baseline check: ok ({} tracked scenarios within {:.0}%)",
+            baseline
+                .scenarios
+                .iter()
+                .filter(|s| !s.name.contains("speedup"))
+                .count(),
+            tolerance * 100.0
+        );
+        return;
+    }
+    for r in &regs {
+        eprintln!(
+            "REGRESSION {}: {:.0} ns -> {:.0} ns ({:.2}x, tolerance {:.0}%)",
+            r.name,
+            r.baseline_ns,
+            r.current_ns,
+            r.ratio,
+            tolerance * 100.0
+        );
+    }
+    std::process::exit(1);
+}
+
+/// The shared epilogue: writes `--out` if given, then runs `--check`
+/// if given (which may exit non-zero).
+pub fn finish(report: &BenchReport, args: &BenchArgs) {
+    if let Some(path) = &args.out_path {
+        std::fs::write(path, report.to_json()).expect("write report");
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.check_path {
+        check_against(report, path, args.tolerance);
+    }
+}

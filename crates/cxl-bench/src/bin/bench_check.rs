@@ -1,0 +1,203 @@
+//! One-shot regression gate over every committed bench baseline.
+//!
+//! Replaces the four copy-pasted per-harness `--check` steps in CI:
+//! each `bench_*` binary writes its fresh report with `--out`, then a
+//! single invocation
+//!
+//! ```text
+//! bench_check --gates BENCH_GATES.json
+//! ```
+//!
+//! walks the config's `checks` list (baseline file, fresh file,
+//! per-file tolerance) and its `speedup_gates` list (fresh file,
+//! scenario, minimum ratio), failing with a consolidated report when
+//! anything regresses.
+//!
+//! Comparability: a baseline captured on a different core count than
+//! the fresh report is **refused** — its wall-clock figures would gate
+//! apples against oranges (the historical failure mode: a 1-core
+//! capture silently gating multi-core CI). A refused pair is skipped
+//! with a loud warning telling the maintainer to re-baseline; pass
+//! `--strict` to turn refusals into failures. Speedup gates come from
+//! the *fresh* reports only, so they hold regardless of where the
+//! baselines were captured — but on a runner without real parallelism
+//! (< 2 cores) the ratios measure timeslicing, so they are skipped
+//! with a warning.
+
+use criterion::report::BenchReport;
+
+/// One baseline-vs-fresh comparison from the gates file.
+struct Check {
+    baseline: String,
+    fresh: String,
+    tolerance: f64,
+}
+
+/// One minimum-ratio gate on a fresh report.
+struct SpeedupGate {
+    fresh: String,
+    scenario: String,
+    min: f64,
+}
+
+/// Extracts `"key":value` (string or number operand) from a JSON line.
+fn field(line: &str, key: &str) -> Option<String> {
+    let (_, rest) = line.split_once(&format!("\"{key}\":"))?;
+    let rest = rest.trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next().map(str::to_string)
+    } else {
+        rest.split([',', '}'])
+            .next()
+            .map(|v| v.trim().to_string())
+    }
+}
+
+/// Parses the gates config: line-oriented like the bench reports (no
+/// serde in this tree). A line with a `"baseline"` field is a check
+/// entry; a line with a `"scenario"` field is a speedup gate.
+fn parse_gates(text: &str) -> Result<(Vec<Check>, Vec<SpeedupGate>), String> {
+    let mut checks = Vec::new();
+    let mut gates = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.contains("\"baseline\"") {
+            checks.push(Check {
+                baseline: field(line, "baseline")
+                    .ok_or_else(|| format!("bad check entry: {line}"))?,
+                fresh: field(line, "fresh").ok_or_else(|| format!("bad check entry: {line}"))?,
+                tolerance: field(line, "tolerance")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad tolerance in: {line}"))?,
+            });
+        } else if line.contains("\"scenario\"") {
+            gates.push(SpeedupGate {
+                fresh: field(line, "fresh").ok_or_else(|| format!("bad gate entry: {line}"))?,
+                scenario: field(line, "scenario")
+                    .ok_or_else(|| format!("bad gate entry: {line}"))?,
+                min: field(line, "min")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad min in: {line}"))?,
+            });
+        }
+    }
+    Ok((checks, gates))
+}
+
+fn load(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    BenchReport::from_json(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let mut gates_path = "BENCH_GATES.json".to_string();
+    let mut strict = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--gates" => gates_path = args.next().expect("--gates PATH"),
+            "--strict" => strict = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_check [--gates PATH] [--strict]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let gates_text = std::fs::read_to_string(&gates_path)
+        .unwrap_or_else(|e| panic!("cannot read {gates_path}: {e}"));
+    let (checks, speedups) = parse_gates(&gates_text).expect("parse gates config");
+
+    let mut failures = 0u32;
+    let mut refusals = 0u32;
+
+    for c in &checks {
+        let baseline = load(&c.baseline);
+        let fresh = load(&c.fresh);
+        match fresh.comparable(&baseline) {
+            Err(why) => {
+                eprintln!("REFUSED {} vs {}: {why}", c.fresh, c.baseline);
+                refusals += 1;
+            }
+            Ok(()) => {
+                let regs = fresh.regressions(&baseline, c.tolerance);
+                if regs.is_empty() {
+                    println!(
+                        "ok {} vs {} ({} tracked scenarios within {:.0}%)",
+                        c.fresh,
+                        c.baseline,
+                        baseline
+                            .scenarios
+                            .iter()
+                            .filter(|s| !s.name.contains("speedup"))
+                            .count(),
+                        c.tolerance * 100.0
+                    );
+                } else {
+                    for r in &regs {
+                        eprintln!(
+                            "REGRESSION {} ({}): {:.0} -> {:.0} ({:.2}x, tolerance {:.0}%)",
+                            r.name,
+                            c.baseline,
+                            r.baseline_ns,
+                            r.current_ns,
+                            r.ratio,
+                            c.tolerance * 100.0
+                        );
+                    }
+                    failures += regs.len() as u32;
+                }
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    if cores < 2 {
+        println!(
+            "WARNING: {cores}-core runner; {} speedup gate(s) skipped \
+             (ratios reflect timeslicing, not parallelism)",
+            speedups.len()
+        );
+    } else {
+        for g in &speedups {
+            let fresh = load(&g.fresh);
+            match fresh.get(&g.scenario) {
+                Some(ratio) if ratio >= g.min => {
+                    println!("ok {} = {ratio:.3}x (>= {:.1}x)", g.scenario, g.min);
+                }
+                Some(ratio) => {
+                    eprintln!(
+                        "SPEEDUP FAIL {} = {ratio:.3}x < {:.1}x on a {cores}-core runner",
+                        g.scenario, g.min
+                    );
+                    failures += 1;
+                }
+                None => {
+                    eprintln!(
+                        "SPEEDUP FAIL {}: scenario missing from {}",
+                        g.scenario, g.fresh
+                    );
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    if refusals > 0 {
+        eprintln!(
+            "{refusals} baseline(s) refused (core-count mismatch): re-baseline with \
+             `bench_* --out` on this runner class{}",
+            if strict {
+                ""
+            } else {
+                " — not failing without --strict"
+            }
+        );
+    }
+    if failures > 0 || (strict && refusals > 0) {
+        std::process::exit(1);
+    }
+}

@@ -13,32 +13,14 @@
 //! for visibility and never regression-checked.
 
 use criterion::report::BenchReport;
+use cxl_bench::benchkit;
 use cxl_bench::fabric::{run_fabric_sweep_with_threads, DEFAULT_LINES};
 
 fn main() {
-    let mut out_path: Option<String> = None;
-    let mut check_path: Option<String> = None;
-    let mut tolerance = 0.05f64;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--out" => out_path = args.next(),
-            "--check" => check_path = args.next(),
-            "--tolerance" => {
-                tolerance = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--tolerance FRAC");
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_fabric [--out PATH] [--check BASELINE] [--tolerance FRAC]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let args = benchkit::BenchArgs::from_env("bench_fabric", 0.05);
 
     let mut report = BenchReport::new();
+    report.set_meta(benchkit::host_cores(), 1);
     let points = run_fabric_sweep_with_threads(1, DEFAULT_LINES);
     let mib = (DEFAULT_LINES as f64 * 64.0) / (1024.0 * 1024.0);
 
@@ -68,37 +50,5 @@ fn main() {
         }
     }
 
-    if let Some(path) = &out_path {
-        std::fs::write(path, report.to_json()).expect("write report");
-        println!("wrote {path}");
-    }
-
-    if let Some(path) = &check_path {
-        let baseline_json = std::fs::read_to_string(path).expect("read baseline");
-        let baseline = BenchReport::from_json(&baseline_json).expect("parse baseline");
-        let regs = report.regressions(&baseline, tolerance);
-        if regs.is_empty() {
-            println!(
-                "baseline check: ok ({} tracked scenarios within {:.0}%)",
-                baseline
-                    .scenarios
-                    .iter()
-                    .filter(|s| !s.name.contains("speedup"))
-                    .count(),
-                tolerance * 100.0
-            );
-        } else {
-            for r in &regs {
-                eprintln!(
-                    "REGRESSION {}: {:.0} -> {:.0} ({:.2}x, tolerance {:.0}%)",
-                    r.name,
-                    r.baseline_ns,
-                    r.current_ns,
-                    r.ratio,
-                    tolerance * 100.0
-                );
-            }
-            std::process::exit(1);
-        }
-    }
+    benchkit::finish(&report, &args);
 }

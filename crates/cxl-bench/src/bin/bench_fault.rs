@@ -14,49 +14,23 @@
 //! the same way a latency blow-up does. `*_speedup_4t` entries are
 //! informational and never regression-checked.
 
-use std::time::Instant;
-
 use criterion::report::BenchReport;
+use cxl_bench::benchkit::{self, allocs_in, time_min};
 use cxl_bench::fault::{ber_label, run_fault_with_threads};
+use sim_core::trace;
 
 const REQUESTS: u64 = 1200;
 const SEED: u64 = 42;
+const BER_POINTS: f64 = 7.0;
+const BENCH_THREADS: u64 = 4;
 
-/// Min wall time of `runs` calls of `f`, in nanoseconds.
-fn time_min(runs: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..runs {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_nanos() as f64);
-    }
-    best
-}
+cxl_bench::counting_allocator!();
 
 fn main() {
-    let mut out_path: Option<String> = None;
-    let mut check_path: Option<String> = None;
-    let mut tolerance = 0.25f64;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--out" => out_path = args.next(),
-            "--check" => check_path = args.next(),
-            "--tolerance" => {
-                tolerance = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--tolerance FRAC");
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_fault [--out PATH] [--check BASELINE] [--tolerance FRAC]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let args = benchkit::BenchArgs::from_env("bench_fault", 0.25);
 
     let mut report = BenchReport::new();
+    report.set_meta(benchkit::host_cores(), BENCH_THREADS);
 
     println!("== reliability sweep (7 BER points, {REQUESTS} requests/workload) ==");
     let serial = time_min(3, || {
@@ -97,37 +71,17 @@ fn main() {
         );
     }
 
-    if let Some(path) = &out_path {
-        std::fs::write(path, report.to_json()).expect("write report");
-        println!("wrote {path}");
-    }
+    // Heap allocations per BER point with tracing on, 4 workers —
+    // gates churn regressions in the injector and retry-link paths
+    // (the geometric gap sampler keeps this free of per-flit work).
+    let fault_allocs = allocs_in(|| {
+        trace::install(1 << 12);
+        std::hint::black_box(run_fault_with_threads(4, REQUESTS, SEED));
+        std::hint::black_box(trace::take_captured());
+    });
+    let allocs_per_point = fault_allocs as f64 / BER_POINTS;
+    report.record("fault_sweep_allocs_per_point", allocs_per_point);
+    println!("  allocs_per_point (4t)    {:>12.1}", allocs_per_point);
 
-    if let Some(path) = &check_path {
-        let baseline_json = std::fs::read_to_string(path).expect("read baseline");
-        let baseline = BenchReport::from_json(&baseline_json).expect("parse baseline");
-        let regs = report.regressions(&baseline, tolerance);
-        if regs.is_empty() {
-            println!(
-                "baseline check: ok ({} tracked scenarios within {:.0}%)",
-                baseline
-                    .scenarios
-                    .iter()
-                    .filter(|s| !s.name.contains("speedup"))
-                    .count(),
-                tolerance * 100.0
-            );
-        } else {
-            for r in &regs {
-                eprintln!(
-                    "REGRESSION {}: {:.0} ns -> {:.0} ns ({:.2}x, tolerance {:.0}%)",
-                    r.name,
-                    r.baseline_ns,
-                    r.current_ns,
-                    r.ratio,
-                    tolerance * 100.0
-                );
-            }
-            std::process::exit(1);
-        }
-    }
+    benchkit::finish(&report, &args);
 }

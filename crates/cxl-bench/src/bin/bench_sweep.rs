@@ -11,11 +11,8 @@
 //! unitless serial/parallel ratios, recorded for visibility and never
 //! regression-checked.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
-
 use criterion::report::BenchReport;
+use cxl_bench::benchkit::{self, allocs_in, time_min};
 use cxl_bench::fig4::run_fig4_with_threads;
 use kvs::fig8::{run_zswap_seeds_with_threads, BackendKind, Fig8Config};
 use kvs::ycsb::YcsbWorkload;
@@ -26,59 +23,9 @@ use sim_core::trace;
 const FIG4_REPS: usize = 40;
 const FIG4_SEED: u64 = 11;
 const FIG8_SEEDS: usize = 8;
+const BENCH_THREADS: u64 = 4;
 
-/// Counts heap allocations so the harness can report allocations per
-/// sweep point — the figure the arena/pool work drives down. Counting
-/// only (no sizes): a pooled hot path shows up as the count collapsing.
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-// SAFETY: delegates allocation verbatim to `System`; the counter is a
-// relaxed atomic with no allocation of its own.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-}
-
-#[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
-
-/// Allocation count of one call of `f`, after a warmup call that pays
-/// every lazy one-time cost (thread-local rings, grown buckets).
-fn allocs_in(mut f: impl FnMut()) -> u64 {
-    f();
-    let before = ALLOCS.load(Ordering::Relaxed);
-    f();
-    ALLOCS.load(Ordering::Relaxed) - before
-}
-
-/// Min wall time of `runs` calls of `f`, in nanoseconds.
-fn time_min(runs: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..runs {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_nanos() as f64);
-    }
-    best
-}
+cxl_bench::counting_allocator!();
 
 /// Schedule/pop churn through the calendar queue in the port engine's
 /// steady-state shape: a bounded set of outstanding transactions (one
@@ -142,29 +89,10 @@ fn fig8_cfg() -> Fig8Config {
 }
 
 fn main() {
-    let mut out_path: Option<String> = None;
-    let mut check_path: Option<String> = None;
-    let mut tolerance = 0.25f64;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--out" => out_path = args.next(),
-            "--check" => check_path = args.next(),
-            "--tolerance" => {
-                tolerance = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--tolerance FRAC");
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_sweep [--out PATH] [--check BASELINE] [--tolerance FRAC]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let args = benchkit::BenchArgs::from_env("bench_sweep", 0.25);
 
     let mut report = BenchReport::new();
+    report.set_meta(benchkit::host_cores(), BENCH_THREADS);
 
     println!("== event-queue hot path ==");
     let churn = time_min(9, || {
@@ -244,37 +172,21 @@ fn main() {
         fig8_4t
     );
 
-    if let Some(path) = &out_path {
-        std::fs::write(path, report.to_json()).expect("write report");
-        println!("wrote {path}");
-    }
+    // Heap allocations per fan-out seed, 4 workers: the shared Arc'd
+    // dataset holds this flat — regenerating pages per seed would show
+    // up here first.
+    let fig8_allocs = allocs_in(|| {
+        std::hint::black_box(run_zswap_seeds_with_threads(
+            4,
+            &cfg,
+            YcsbWorkload::B,
+            BackendKind::Cxl,
+            FIG8_SEEDS,
+        ));
+    });
+    let fig8_allocs_per_point = fig8_allocs as f64 / FIG8_SEEDS as f64;
+    report.record("fig8_seed_fanout_allocs_per_point", fig8_allocs_per_point);
+    println!("  allocs_per_point (4t)    {:>12.1}", fig8_allocs_per_point);
 
-    if let Some(path) = &check_path {
-        let baseline_json = std::fs::read_to_string(path).expect("read baseline");
-        let baseline = BenchReport::from_json(&baseline_json).expect("parse baseline");
-        let regs = report.regressions(&baseline, tolerance);
-        if regs.is_empty() {
-            println!(
-                "baseline check: ok ({} tracked scenarios within {:.0}%)",
-                baseline
-                    .scenarios
-                    .iter()
-                    .filter(|s| !s.name.contains("speedup"))
-                    .count(),
-                tolerance * 100.0
-            );
-        } else {
-            for r in &regs {
-                eprintln!(
-                    "REGRESSION {}: {:.0} ns -> {:.0} ns ({:.2}x, tolerance {:.0}%)",
-                    r.name,
-                    r.baseline_ns,
-                    r.current_ns,
-                    r.ratio,
-                    tolerance * 100.0
-                );
-            }
-            std::process::exit(1);
-        }
-    }
+    benchkit::finish(&report, &args);
 }

@@ -99,26 +99,30 @@ struct ScenarioResult {
 /// is `Some`) against one shared platform, all through one traffic
 /// scheduler.
 fn run_scenario(seed: u64, fg_requests: u64, bg: Option<(f64, u64)>) -> ScenarioResult {
-    let mut host = Socket::xeon_6538y();
-    let mut dev = CxlDevice::agilex7();
-    let mut occ = SliceOccupancy::for_device(&dev);
+    let (mut host, mut dev, mut occ, mut sched, fg_flow, bg_flow) =
+        sweep::profile::scope(sweep::profile::Stage::Setup, || {
+            let host = Socket::xeon_6538y();
+            let dev = CxlDevice::agilex7();
+            let occ = SliceOccupancy::for_device(&dev);
 
-    let mut sched = TrafficScheduler::new(seed);
-    let fg_flow = sched.add_flow(
-        host.store_flow("duplex.fg.h2d")
-            .open_fixed(FG_INTERVAL)
-            .over_lines(0, FG_LINES)
-            .requests(fg_requests),
-    ) as u32;
-    let bg_flow = bg.map(|(load, requests)| {
-        sched.add_flow(
-            dev.lsu_flow_ooo("duplex.bg.ingest")
-                .open_poisson(bg_interval(load))
-                .over_lines(0, BG_LINES)
-                .bytes_per_op(BG_BYTES_PER_OP)
-                .requests(requests),
-        ) as u32
-    });
+            let mut sched = TrafficScheduler::new(seed);
+            let fg_flow = sched.add_flow(
+                host.store_flow("duplex.fg.h2d")
+                    .open_fixed(FG_INTERVAL)
+                    .over_lines(0, FG_LINES)
+                    .requests(fg_requests),
+            ) as u32;
+            let bg_flow = bg.map(|(load, requests)| {
+                sched.add_flow(
+                    dev.lsu_flow_ooo("duplex.bg.ingest")
+                        .open_poisson(bg_interval(load))
+                        .over_lines(0, BG_LINES)
+                        .bytes_per_op(BG_BYTES_PER_OP)
+                        .requests(requests),
+                ) as u32
+            });
+            (host, dev, occ, sched, fg_flow, bg_flow)
+        });
 
     let report = sched.run(|op, at| {
         if op.flow == fg_flow {

@@ -23,13 +23,16 @@
 //!
 //! Every BER point reuses the *same* workload seed and the same
 //! fault-plan seed (common random numbers): points differ only in the
-//! bound probabilities, and because a fault draw compares one uniform
-//! variate against the bound rate, a fault that fires at BER `b` also
-//! fires at every higher BER sharing its draw. The sweep's headline
-//! shape — goodput non-increasing, p999 non-decreasing as BER rises —
-//! is pinned by this module's tests. The zero-BER point binds *no*
-//! fault process ([`sim_core::fault::FaultPlan::disabled`]), so it takes
-//! the exact healthy code path: zero extra RNG draws, zero fault events.
+//! bound probabilities. Fault processes are gap-sampled (geometric
+//! inter-arrival skip-ahead in `sim_core::fault`), and each gap spends
+//! exactly one uniform variate, so one shared stream couples the whole
+//! ladder: the same variate yields a strictly shorter gap at a higher
+//! rate, the k-th fire never lands later, and the fire set over any
+//! horizon only grows with BER. The sweep's headline shape — goodput
+//! non-increasing, p999 non-decreasing as BER rises — is pinned by this
+//! module's tests. The zero-BER point binds *no* fault process
+//! ([`sim_core::fault::FaultPlan::disabled`]), so it takes the exact
+//! healthy code path: zero extra RNG draws, zero fault events.
 
 use cxl_proto::link::cxl_x16;
 use cxl_proto::request::RequestType;
@@ -144,18 +147,22 @@ struct ChaseResult {
 /// read, and a hop that reads a poisoned pointer must scrub and refetch
 /// before it can follow it.
 fn run_chase(hops: u64, ber: f64, seed: u64) -> ChaseResult {
-    let plan = fault_plan(seed, ber);
-    let mut host = Socket::xeon_6538y();
-    let mut link = RetryLink::new(
-        cxl_x16(),
-        RetryConfig::default(),
-        plan.injector(POINT_CHASE_LINK),
-    );
-    let mut poison = PoisonSet::new(plan.injector(POINT_MEM));
-    // The writer that laid down the chain is where poison enters.
-    for i in 0..CHASE_LINES {
-        poison.on_write(host_line(i), Time::ZERO);
-    }
+    let (mut host, mut link, mut poison) =
+        sweep::profile::scope(sweep::profile::Stage::Setup, || {
+            let plan = fault_plan(seed, ber);
+            let host = Socket::xeon_6538y();
+            let link = RetryLink::new(
+                cxl_x16(),
+                RetryConfig::default(),
+                plan.injector(POINT_CHASE_LINK),
+            );
+            let mut poison = PoisonSet::new(plan.injector(POINT_MEM));
+            // The writer that laid down the chain is where poison enters.
+            for i in 0..CHASE_LINES {
+                poison.on_write(host_line(i), Time::ZERO);
+            }
+            (host, link, poison)
+        });
 
     let mut rng = SimRng::seed_from(seed);
     let mut hist = Histogram::new();
@@ -211,36 +218,40 @@ struct TrafficResult {
 /// wrapped around every op: retry links on both wires, the slice
 /// watchdog around every DCOH transaction.
 fn run_traffic(requests: u64, ber: f64, seed: u64) -> TrafficResult {
-    let plan = fault_plan(seed, ber);
-    let mut host = Socket::xeon_6538y();
-    let mut dev = CxlDevice::agilex7();
-    let mut occ = SliceOccupancy::for_device(&dev);
-    let mut watchdog = SliceTimeouts::new(TimeoutPolicy::default(), plan.injector(POINT_SLICE));
-    let mut h2d = RetryLink::new(
-        cxl_x16(),
-        RetryConfig::default(),
-        plan.injector(POINT_H2D_LINK),
-    );
-    let mut d2h = RetryLink::new(
-        cxl_x16(),
-        RetryConfig::default(),
-        plan.injector(POINT_D2H_LINK),
-    );
+    let (mut host, mut dev, mut occ, mut watchdog, mut h2d, mut d2h, mut sched, fg_flow) =
+        sweep::profile::scope(sweep::profile::Stage::Setup, || {
+            let plan = fault_plan(seed, ber);
+            let host = Socket::xeon_6538y();
+            let dev = CxlDevice::agilex7();
+            let occ = SliceOccupancy::for_device(&dev);
+            let watchdog = SliceTimeouts::new(TimeoutPolicy::default(), plan.injector(POINT_SLICE));
+            let h2d = RetryLink::new(
+                cxl_x16(),
+                RetryConfig::default(),
+                plan.injector(POINT_H2D_LINK),
+            );
+            let d2h = RetryLink::new(
+                cxl_x16(),
+                RetryConfig::default(),
+                plan.injector(POINT_D2H_LINK),
+            );
 
-    let mut sched = TrafficScheduler::new(seed);
-    let fg_flow = sched.add_flow(
-        host.store_flow("fault.fg.h2d")
-            .open_fixed(FG_INTERVAL)
-            .over_lines(0, FG_LINES)
-            .requests(requests),
-    ) as u32;
-    sched.add_flow(
-        dev.lsu_flow_ooo("fault.bg.ingest")
-            .open_poisson(BG_INTERVAL)
-            .over_lines(0, BG_LINES)
-            .bytes_per_op(BG_BYTES_PER_OP)
-            .requests(requests),
-    );
+            let mut sched = TrafficScheduler::new(seed);
+            let fg_flow = sched.add_flow(
+                host.store_flow("fault.fg.h2d")
+                    .open_fixed(FG_INTERVAL)
+                    .over_lines(0, FG_LINES)
+                    .requests(requests),
+            ) as u32;
+            sched.add_flow(
+                dev.lsu_flow_ooo("fault.bg.ingest")
+                    .open_poisson(BG_INTERVAL)
+                    .over_lines(0, BG_LINES)
+                    .bytes_per_op(BG_BYTES_PER_OP)
+                    .requests(requests),
+            );
+            (host, dev, occ, watchdog, h2d, d2h, sched, fg_flow)
+        });
 
     let report = sched.run_with_outcomes(|op, at| {
         if op.flow == fg_flow {

@@ -52,8 +52,9 @@ fn measure_bias(
     reps: usize,
     rng: &mut SimRng,
 ) -> (f64, f64) {
-    let mut host = Socket::xeon_6538y();
-    let mut dev = CxlDevice::agilex7();
+    let (mut host, mut dev) = sweep::profile::scope(sweep::profile::Stage::Setup, || {
+        (Socket::xeon_6538y(), CxlDevice::agilex7())
+    });
     let lsu = Lsu::new();
     let mut lat = Samples::new();
     let mut bw = Samples::new();
@@ -116,7 +117,7 @@ fn measure_bias(
 fn measure_emulated(req: RequestType, dmc_hit: bool, reps: usize, rng: &mut SimRng) -> f64 {
     // The emulated D2D baseline: the host CPU against its own hierarchy —
     // an L1 hit stands in for a DMC hit (the device has one cache level).
-    let mut host = Socket::xeon_6538y();
+    let mut host = sweep::profile::scope(sweep::profile::Stage::Setup, Socket::xeon_6538y);
     let mut lat = Samples::new();
     let mut t = Time::ZERO;
     let mut next: u64 = 1 << 18;

@@ -23,7 +23,53 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Installs a counting global allocator in the calling binary: every
+/// heap allocation is tallied through [`benchkit::note_alloc`] so
+/// [`benchkit::allocs_in`] can report allocations per sweep point.
+/// Counting only (no sizes): a pooled hot path shows up as the count
+/// collapsing. A macro rather than a type because the unsafe
+/// `GlobalAlloc` impl must live in the binary — this library forbids
+/// unsafe code.
+#[macro_export]
+macro_rules! counting_allocator {
+    () => {
+        struct CountingAlloc;
+
+        // SAFETY: delegates allocation verbatim to `System`; the
+        // counter is a relaxed atomic with no allocation of its own.
+        unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+            unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+                $crate::benchkit::note_alloc();
+                std::alloc::GlobalAlloc::alloc(&std::alloc::System, layout)
+            }
+
+            unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+                $crate::benchkit::note_alloc();
+                std::alloc::GlobalAlloc::alloc_zeroed(&std::alloc::System, layout)
+            }
+
+            unsafe fn realloc(
+                &self,
+                ptr: *mut u8,
+                layout: std::alloc::Layout,
+                new_size: usize,
+            ) -> *mut u8 {
+                $crate::benchkit::note_alloc();
+                std::alloc::GlobalAlloc::realloc(&std::alloc::System, ptr, layout, new_size)
+            }
+
+            unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+                std::alloc::GlobalAlloc::dealloc(&std::alloc::System, ptr, layout)
+            }
+        }
+
+        #[global_allocator]
+        static GLOBAL: CountingAlloc = CountingAlloc;
+    };
+}
+
 pub mod ablations;
+pub mod benchkit;
 pub mod duplex;
 pub mod fabric;
 pub mod fault;

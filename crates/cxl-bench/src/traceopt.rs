@@ -1,15 +1,19 @@
-//! `--trace-out <path>` support shared by the `repro_*` binaries.
+//! `--trace-out <path>` and `--profile` support shared by the `repro_*`
+//! binaries.
 //!
 //! Every repro binary accepts `--trace-out <path>`: when present, a
 //! tracer is installed for the whole run and the captured events are
-//! exported as JSON lines to `<path>` on exit. The flag (and any bare
-//! `--` separators cargo users habitually pass) is stripped before the
-//! binary sees its own arguments, and nothing extra is printed to
-//! stdout, so the reproduced tables/figures are byte-identical with and
-//! without tracing.
+//! exported as JSON lines to `<path>` on exit. It also accepts
+//! `--profile`: the [`sweep::profile`] stage accounting is enabled for
+//! the run and the per-stage breakdown is printed to **stderr** on
+//! exit. Both flags (and any bare `--` separators cargo users
+//! habitually pass) are stripped before the binary sees its own
+//! arguments, and nothing extra is printed to stdout, so the reproduced
+//! tables/figures are byte-identical with and without them.
 
 use std::path::PathBuf;
 
+use sim_core::sweep;
 use sim_core::trace;
 
 /// Ring capacity for repro runs: large enough that the short figure
@@ -22,6 +26,7 @@ const REPRO_RING_CAPACITY: usize = 1 << 20;
 #[derive(Debug)]
 pub struct TraceOut {
     path: Option<PathBuf>,
+    profile: bool,
 }
 
 impl TraceOut {
@@ -38,6 +43,7 @@ impl TraceOut {
     pub fn from_args(args: impl IntoIterator<Item = String>) -> (Vec<String>, TraceOut) {
         let mut rest = Vec::new();
         let mut path = None;
+        let mut profile = false;
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -49,13 +55,17 @@ impl TraceOut {
                         std::process::exit(2);
                     }
                 },
+                "--profile" => profile = true,
                 _ => rest.push(a),
             }
         }
         if path.is_some() {
             trace::install(REPRO_RING_CAPACITY);
         }
-        (rest, TraceOut { path })
+        if profile {
+            sweep::profile::set_enabled(true);
+        }
+        (rest, TraceOut { path, profile })
     }
 
     /// Uninstalls the tracer and writes the JSONL export; a no-op when
@@ -63,6 +73,10 @@ impl TraceOut {
     ///
     /// Exits with status 1 if the file cannot be written.
     pub fn finish(self) {
+        if self.profile {
+            sweep::profile::set_enabled(false);
+            eprint!("{}", sweep::profile::take().render());
+        }
         let Some(path) = self.path else { return };
         let events = trace::uninstall();
         if let Err(e) = std::fs::write(&path, trace::to_jsonl(&events)) {
@@ -85,6 +99,15 @@ mod tests {
         assert!(trace::is_active(), "flag installs the tracer");
         t.finish();
         assert!(!trace::is_active(), "finish uninstalls");
+    }
+
+    #[test]
+    fn profile_flag_is_stripped_and_enables_accounting() {
+        let (rest, t) = TraceOut::from_args(["--profile", "table3"].map(String::from));
+        assert_eq!(rest, vec!["table3".to_string()]);
+        assert!(sweep::profile::enabled(), "flag enables stage accounting");
+        t.finish();
+        assert!(!sweep::profile::enabled(), "finish disables it");
     }
 
     #[test]

@@ -22,8 +22,19 @@ use mem_subsys::dram::{DramTech, MemorySystem};
 use mem_subsys::line::LineAddr;
 use sim_core::port::PortSpec;
 use sim_core::time::{Duration, Time};
-use sim_core::trace::{self, BiasKind, CacheId, CounterRegistry, Lane, MemId, OpKind, TraceEvent};
+use sim_core::trace::{
+    self, BiasKind, CacheId, CounterRegistry, CounterSlot, Lane, MemId, OpKind, TraceEvent,
+};
 use sim_core::traffic::FlowSpec;
+
+/// Interned slots for the device counters bumped on every request /
+/// writeback (hot paths — a slot bump is a `Vec` index, not a
+/// string-keyed map walk).
+static DMC_WRITEBACKS: CounterSlot = CounterSlot::new("device.dmc.writebacks");
+static HMC_WRITEBACKS: CounterSlot = CounterSlot::new("device.hmc.writebacks");
+static D2H_REQUESTS: CounterSlot = CounterSlot::new("device.d2h.requests");
+static D2D_REQUESTS: CounterSlot = CounterSlot::new("device.d2d.requests");
+static H2D_REQUESTS: CounterSlot = CounterSlot::new("device.h2d.requests");
 
 use crate::addr::{device_byte_offset, device_local_index, is_device_addr};
 use crate::dcoh::SliceArray;
@@ -320,7 +331,7 @@ impl CxlDevice {
     }
 
     fn writeback_dmc_victim(&mut self, addr: LineAddr, now: Time) {
-        self.counters.incr("device.dmc.writebacks");
+        self.counters.bump(&DMC_WRITEBACKS);
         trace::emit(
             now,
             TraceEvent::CacheWriteback {
@@ -388,7 +399,7 @@ impl CxlDevice {
     }
 
     fn writeback_hmc_victim(&mut self, addr: LineAddr, now: Time, host: &mut Socket) {
-        self.counters.incr("device.hmc.writebacks");
+        self.counters.bump(&HMC_WRITEBACKS);
         trace::emit(
             now,
             TraceEvent::CacheWriteback {
@@ -480,7 +491,7 @@ impl CxlDevice {
             DeviceType::Type2,
             "D2H requires CXL.cache (Type-2 operation)"
         );
-        self.counters.incr("device.d2h.requests");
+        self.counters.bump(&D2H_REQUESTS);
         trace::emit(
             now,
             TraceEvent::Request {
@@ -763,7 +774,7 @@ impl CxlDevice {
             req.hint() != CacheHint::NcPush,
             "NC-P is not defined for D2D accesses"
         );
-        self.counters.incr("device.d2d.requests");
+        self.counters.bump(&D2D_REQUESTS);
         trace::emit(
             now,
             TraceEvent::Request {
@@ -1011,7 +1022,7 @@ impl CxlDevice {
                     );
                     let wb = self.dev_mem_write(addr, t);
                     t = wb.max(t) + self.timing.h2d_dirty_writeback;
-                    self.counters.incr("device.dmc.writebacks");
+                    self.counters.bump(&DMC_WRITEBACKS);
                     let next = if for_write {
                         MesiState::Invalid
                     } else {
@@ -1172,7 +1183,7 @@ impl CxlDevice {
             is_device_addr(addr),
             "H2D targets device memory; got {addr}"
         );
-        self.counters.incr("device.h2d.requests");
+        self.counters.bump(&H2D_REQUESTS);
         trace::emit(
             now,
             TraceEvent::Request {
@@ -1318,7 +1329,7 @@ impl CxlDevice {
             DeviceType::Type2,
             "NC-P requires CXL.cache (Type-2 operation)"
         );
-        self.counters.incr("device.d2h.requests");
+        self.counters.bump(&D2H_REQUESTS);
         trace::emit(
             now,
             TraceEvent::Request {

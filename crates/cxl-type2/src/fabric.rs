@@ -25,7 +25,7 @@ use mem_subsys::line::LineAddr;
 use sim_core::port::PortEngine;
 use sim_core::time::{Duration, Time};
 use sim_core::topology::{DeviceId, DeviceKind, Topology, TopologyError, TopologySpec};
-use sim_core::trace::{self, CounterRegistry, Lane, SnoopKind, TraceEvent};
+use sim_core::trace::{self, CounterId, CounterRegistry, CounterSlot, Lane, SnoopKind, TraceEvent};
 use sim_core::traffic::FlowSpec;
 
 use crate::addr::{self, is_device_addr, DEFAULT_INTERLEAVE_BYTES};
@@ -43,6 +43,8 @@ const ROUTED_KEYS: [&str; 8] = [
     "fabric.dev6.routed",
     "fabric.dev7.routed",
 ];
+
+static FABRIC_ROUTED: CounterSlot = CounterSlot::new("fabric.routed");
 
 /// One fabric-wide concurrent burst: the aggregate envelope plus how many
 /// lines each device absorbed.
@@ -65,6 +67,9 @@ pub struct Fabric {
     topo: Topology,
     router: AddressRouter,
     counters: CounterRegistry,
+    /// `fabric.devN.routed` ids, interned once at build — `route()` bumps
+    /// by dense id only.
+    routed_ids: Vec<CounterId>,
 }
 
 impl Fabric {
@@ -81,12 +86,16 @@ impl Fabric {
             })
             .collect();
         let router = AddressRouter::new(topo.decoders().clone());
+        let routed_ids = (0..topo.devices().len())
+            .map(|i| CounterId::intern(ROUTED_KEYS[i.min(ROUTED_KEYS.len() - 1)]))
+            .collect();
         Ok(Fabric {
             hosts,
             devs,
             topo,
             router,
             counters: CounterRegistry::new(),
+            routed_ids,
         })
     }
 
@@ -143,9 +152,11 @@ impl Fabric {
     /// stay byte-identical.
     pub fn route(&mut self, addr: LineAddr, now: Time) -> Option<(DeviceId, LineAddr)> {
         let (id, local) = addr::decode(self.router.decoders(), addr)?;
-        self.counters.incr("fabric.routed");
-        self.counters
-            .incr(ROUTED_KEYS[(id.0 as usize).min(ROUTED_KEYS.len() - 1)]);
+        self.counters.bump(&FABRIC_ROUTED);
+        self.counters.add_id(
+            self.routed_ids[(id.0 as usize).min(self.routed_ids.len() - 1)],
+            1,
+        );
         if self.devs.len() > 1 {
             trace::emit(
                 now,

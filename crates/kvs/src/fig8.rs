@@ -10,17 +10,26 @@
 //! request for the swap-in latency; the compression/scan engines pollute
 //! the LLC, inflating service times during activity windows.
 
+use std::sync::Arc;
+
 use host::socket::Socket;
 use kernel::offload::{CpuBackend, CxlBackend, OffloadBackend, PcieDmaBackend, PcieRdmaBackend};
-use kernel::page::{PageMix, PAGE_SIZE};
+use kernel::page::{PageData, PageMix, PAGE_SIZE};
 use kernel::reclaim::{MemoryZone, ReclaimPath, Watermarks};
 use kernel::zswap::{SwapKey, Zswap, ZswapConfig};
 use sim_core::rng::SimRng;
 use sim_core::stats::Histogram;
 use sim_core::sweep;
 use sim_core::time::{Duration, Time};
-use sim_core::trace::{self, CounterRegistry, KvsStep, TraceEvent};
+use sim_core::trace::{self, CounterRegistry, CounterSlot, KvsStep, TraceEvent};
 use tinybench::hist::TailSummary;
+
+/// Interned slots for the per-request KVS counters (bumped inside the
+/// request loop — the hot part of each Fig. 8 cell).
+static KVS_REQUESTS: CounterSlot = CounterSlot::new("kvs.requests");
+static KVS_FAULTS: CounterSlot = CounterSlot::new("kvs.faults");
+static KVS_INSERTS: CounterSlot = CounterSlot::new("kvs.inserts");
+static KVS_COW_BREAKS: CounterSlot = CounterSlot::new("kvs.cow_breaks");
 
 use crate::server::{merge_jobs, run_core, Job};
 use crate::ycsb::{KeyDistribution, Op, YcsbWorkload};
@@ -304,12 +313,77 @@ fn percentile_report(
     }
 }
 
+/// The seed-invariant setup of the Fig. 8 experiments: the populated
+/// Redis dataset pages (zswap experiment) and the VM candidate pages
+/// (ksm experiment).
+///
+/// Generating a 4 KiB page walks the RNG across the whole page, so
+/// regenerating the dataset per seed dominated the seed fan-out's setup
+/// time. The tables are immutable once built — seeds differ only in
+/// their request streams and per-seed RNG draws — so a sweep builds one
+/// dataset from the *base* seed and shares it (`Arc`-cloned) across all
+/// points; each point clones individual pages (a memcpy) into its own
+/// mutable zone/ksm state.
+#[derive(Debug, Clone)]
+pub struct Fig8Dataset {
+    /// Redis pages, indexed `server * keys_per_server + key`.
+    redis_pages: Vec<PageData>,
+    /// VM candidate pages, indexed `vm * pages_per_vm + slot`.
+    vm_pages: Vec<PageData>,
+    keys_per_server: u64,
+    pages_per_vm: usize,
+}
+
+impl Fig8Dataset {
+    /// Generates the immutable page tables from `cfg.seed`. The page
+    /// streams are drawn from a dedicated RNG, so they are independent
+    /// of every per-seed stream.
+    pub fn build(cfg: &Fig8Config) -> Self {
+        let mut rng = SimRng::seed_from(cfg.seed ^ 0x00DA_7A5E_7000);
+        let mix = PageMix::datacenter();
+        let redis_pages = (0..cfg.servers as u64 * cfg.keys_per_server)
+            .map(|_| mix.sample(&mut rng).generate(&mut rng))
+            .collect();
+        let vm_mix = PageMix::vm_guest();
+        let vm_pages = (0..cfg.vm_count * cfg.pages_per_vm)
+            .map(|_| vm_mix.sample(&mut rng).generate(&mut rng))
+            .collect();
+        Fig8Dataset {
+            redis_pages,
+            vm_pages,
+            keys_per_server: cfg.keys_per_server,
+            pages_per_vm: cfg.pages_per_vm,
+        }
+    }
+
+    fn redis_page(&self, server: usize, key: u64) -> &PageData {
+        &self.redis_pages[server * self.keys_per_server as usize + key as usize]
+    }
+
+    fn vm_page(&self, vm: usize, slot: usize) -> &PageData {
+        &self.vm_pages[vm * self.pages_per_vm + slot]
+    }
+}
+
 /// Runs the `*-zswap` experiment of Fig. 8 (left) for one workload and
 /// backend, returning the tail report. Normalize against a
 /// [`BackendKind::None`] run with the same config/seed.
 pub fn run_zswap(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) -> TailReport {
+    run_zswap_with_dataset(cfg, workload, kind, &Fig8Dataset::build(cfg))
+}
+
+/// [`run_zswap`] against a pre-built shared dataset (the seed fan-out
+/// path: the dataset is built once and reused by every point).
+pub fn run_zswap_with_dataset(
+    cfg: &Fig8Config,
+    workload: YcsbWorkload,
+    kind: BackendKind,
+    dataset: &Fig8Dataset,
+) -> TailReport {
     let mut rng = SimRng::seed_from(cfg.seed ^ 0x5A5A);
-    let requests = generate_requests(cfg, workload, &mut rng);
+    let requests = sweep::profile::scope(sweep::profile::Stage::Setup, || {
+        generate_requests(cfg, workload, &mut rng)
+    });
     let Some(backend) = kind.build() else {
         return baseline_report(cfg, &requests);
     };
@@ -324,14 +398,16 @@ pub fn run_zswap(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) ->
 
     // Populate Redis pages and warm them onto the active list (a loaded
     // KVS has referenced its dataset repeatedly before the measurement).
-    for server in 0..cfg.servers {
-        for key in 0..cfg.keys_per_server {
-            let page = mix.sample(&mut rng).generate(&mut rng);
-            let k = redis_key(server, key, cfg.keys_per_server);
-            zone.allocate(k, page, Time::ZERO, &mut zswap, &mut host);
-            zone.touch(k);
+    sweep::profile::scope(sweep::profile::Stage::Setup, || {
+        for server in 0..cfg.servers {
+            for key in 0..cfg.keys_per_server {
+                let page = dataset.redis_page(server, key).clone();
+                let k = redis_key(server, key, cfg.keys_per_server);
+                zone.allocate(k, page, Time::ZERO, &mut zswap, &mut host);
+                zone.touch(k);
+            }
         }
-    }
+    });
 
     let mut jobs: Vec<Vec<Job>> = vec![Vec::new(); cfg.servers];
     let mut feature_cpu = Duration::ZERO;
@@ -412,7 +488,7 @@ pub fn run_zswap(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) ->
                         key: r.key,
                     },
                 );
-                counters.incr("kvs.requests");
+                counters.bump(&KVS_REQUESTS);
                 let key = redis_key(r.server, r.key, cfg.keys_per_server);
                 let mut service = service_for(r.op, cfg.base_service);
                 if r.arrival < pollution_until {
@@ -431,7 +507,7 @@ pub fn run_zswap(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) ->
                                 key: r.key,
                             },
                         );
-                        counters.incr("kvs.faults");
+                        counters.bump(&KVS_FAULTS);
                         service += done.duration_since(r.arrival);
                         feature_cpu += cpu;
                     } else {
@@ -444,7 +520,7 @@ pub fn run_zswap(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) ->
                                 key: r.key,
                             },
                         );
-                        counters.incr("kvs.inserts");
+                        counters.bump(&KVS_INSERTS);
                         let page = mix.sample(&mut rng).generate(&mut rng);
                         let o = zone.allocate(key, page, r.arrival, &mut zswap, &mut host);
                         if o.reclaimed > 0 {
@@ -548,10 +624,23 @@ fn run_antagonist_burst<B: OffloadBackend>(
 /// migrating across cores batch-by-batch; a batch scheduled on a Redis
 /// core delays that server's queue by the batch's host CPU time.
 pub fn run_ksm(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) -> TailReport {
+    run_ksm_with_dataset(cfg, workload, kind, &Fig8Dataset::build(cfg))
+}
+
+/// [`run_ksm`] against a pre-built shared dataset (the seed fan-out
+/// path: the dataset is built once and reused by every point).
+pub fn run_ksm_with_dataset(
+    cfg: &Fig8Config,
+    workload: YcsbWorkload,
+    kind: BackendKind,
+    dataset: &Fig8Dataset,
+) -> TailReport {
     use kernel::ksm::Ksm;
 
     let mut rng = SimRng::seed_from(cfg.seed ^ 0x006B_736D);
-    let requests = generate_requests(cfg, workload, &mut rng);
+    let requests = sweep::profile::scope(sweep::profile::Stage::Setup, || {
+        generate_requests(cfg, workload, &mut rng)
+    });
     let Some(backend) = kind.build() else {
         return baseline_report(cfg, &requests);
     };
@@ -560,14 +649,17 @@ pub fn run_ksm(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) -> T
     let mut ksm = Ksm::new(backend);
     let mix = PageMix::vm_guest();
 
-    // Register every VM's candidate pages.
+    // Register every VM's candidate pages (shared immutable tables;
+    // churn below rewrites pages with fresh per-seed generations).
     let mut vm_pages: Vec<Vec<kernel::ksm::KsmPageId>> = Vec::with_capacity(cfg.vm_count);
-    for _vm in 0..cfg.vm_count {
-        let ids = (0..cfg.pages_per_vm)
-            .map(|_| ksm.register(mix.sample(&mut rng).generate(&mut rng)))
-            .collect();
-        vm_pages.push(ids);
-    }
+    sweep::profile::scope(sweep::profile::Stage::Setup, || {
+        for vm in 0..cfg.vm_count {
+            let ids = (0..cfg.pages_per_vm)
+                .map(|slot| ksm.register(dataset.vm_page(vm, slot).clone()))
+                .collect();
+            vm_pages.push(ids);
+        }
+    });
     let all_ids: Vec<kernel::ksm::KsmPageId> = vm_pages.iter().flatten().copied().collect();
 
     // ksmd timeline: continuous batched scanning, round-robin across the
@@ -650,7 +742,7 @@ pub fn run_ksm(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) -> T
                 key: r.key,
             },
         );
-        counters.incr("kvs.requests");
+        counters.bump(&KVS_REQUESTS);
         let mut service = service_for(r.op, cfg.base_service);
         // ksmd scans continuously, so its cache pollution applies to the
         // whole run.
@@ -660,7 +752,7 @@ pub fn run_ksm(cfg: &Fig8Config, workload: YcsbWorkload, kind: BackendKind) -> T
             let id = ids[(r.key as usize) % ids.len()];
             if ksm.is_merged(id) {
                 ksm.write_page(id, mix.sample(&mut rng).generate(&mut rng));
-                counters.incr("kvs.cow_breaks");
+                counters.bump(&KVS_COW_BREAKS);
                 service += cow_cost;
             }
         }
@@ -707,10 +799,16 @@ pub fn run_zswap_seeds_with_threads(
     kind: BackendKind,
     seeds: usize,
 ) -> Vec<TailReport> {
+    // The page tables are seed-invariant: build them once from the base
+    // seed and share them across every point instead of regenerating
+    // (4 KiB RNG walks per page) inside each seed's run.
+    let dataset = sweep::profile::scope(sweep::profile::Stage::Setup, || {
+        Arc::new(Fig8Dataset::build(cfg))
+    });
     sweep::run_with_threads(threads, seeds, |i| {
         let mut point_cfg = cfg.clone();
         point_cfg.seed = sweep::point_seed(cfg.seed, i);
-        run_zswap(&point_cfg, workload, kind)
+        run_zswap_with_dataset(&point_cfg, workload, kind, &dataset)
     })
 }
 
@@ -732,10 +830,13 @@ pub fn run_ksm_seeds_with_threads(
     kind: BackendKind,
     seeds: usize,
 ) -> Vec<TailReport> {
+    let dataset = sweep::profile::scope(sweep::profile::Stage::Setup, || {
+        Arc::new(Fig8Dataset::build(cfg))
+    });
     sweep::run_with_threads(threads, seeds, |i| {
         let mut point_cfg = cfg.clone();
         point_cfg.seed = sweep::point_seed(cfg.seed, i);
-        run_ksm(&point_cfg, workload, kind)
+        run_ksm_with_dataset(&point_cfg, workload, kind, &dataset)
     })
 }
 

@@ -196,16 +196,64 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
+/// Remaining healthy units before the next fire of a gap-sampled
+/// process; `GAP_NEVER` means the process can never fire (`p == 0`).
+const GAP_NEVER: u64 = u64::MAX;
+
+/// One geometric inter-arrival gap: the number of healthy units (bits
+/// for `BitError`, ops for `Stall`/`Poison`) before the next fire of an
+/// independent per-unit Bernoulli(`p`) process. Consumes exactly one
+/// uniform variate for every `p > 0`, so a BER ladder sharing one RNG
+/// stream keeps the common-random-numbers coupling: the same `u` yields
+/// a gap that shrinks monotonically as `p` rises, so the k-th fire of a
+/// higher-rate point never lands later.
+fn geometric_gap(rng: &mut SimRng, p: f64) -> u64 {
+    if p <= 0.0 {
+        return GAP_NEVER;
+    }
+    let u = rng.gen_f64();
+    if p >= 1.0 {
+        return 0;
+    }
+    // Inversion: floor(ln(1-u) / ln(1-p)) is Geometric(p) on {0,1,...}.
+    // u ∈ [0,1) keeps ln(1-u) finite; ln(1-p) < 0 keeps the ratio ≥ 0.
+    let g = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+    if g >= GAP_NEVER as f64 {
+        GAP_NEVER
+    } else {
+        g as u64
+    }
+}
+
 /// The per-point stateful fault handle a consumer owns.
 ///
 /// Querying a fault kind with no bound process returns immediately
 /// without consuming RNG draws — a disabled injector is behaviourally
 /// invisible.
+///
+/// Bound Bernoulli processes (`BitError`, `Stall`, `Poison`) are
+/// executed by *gap sampling*: instead of one uniform draw per unit
+/// (which made a BER-1e-9 sweep pay the full RNG cost of a BER-1e-4
+/// one), the injector samples the geometric inter-arrival distance to
+/// the next fire once, then skips whole flits/ops by plain integer
+/// arithmetic until the counter crosses zero. The per-unit semantics
+/// are unchanged — a bulk query over `bits` bits fires exactly when a
+/// bit-by-bit walk of the same stream would (pinned by the
+/// skip-ahead-vs-stepping test below).
 #[derive(Debug, Clone)]
 pub struct Injector {
     point: &'static str,
     rng: SimRng,
     processes: Vec<FaultProcess>,
+    /// Per-process gap state (same index as `processes`): healthy units
+    /// remaining before that process's next fire. Unit space is bits for
+    /// `BitError`, ops for `Stall`/`Poison`; `LinkDown` is draw-free and
+    /// keeps `GAP_NEVER`.
+    gaps: Vec<u64>,
+    /// Bitmask of bound [`FaultKind`]s (1 << kind_index), so the
+    /// per-query "is anything bound?" check is one AND instead of a
+    /// process-list scan.
+    kinds: u8,
     /// Phase offset of link-down windows, drawn once if a LinkDown
     /// process is bound.
     down_phase: u64,
@@ -234,10 +282,27 @@ impl Injector {
                 _ => None,
             })
             .unwrap_or(0);
+        // Initial gap per Bernoulli process, in binding order. A bound
+        // process with p == 0 draws nothing and can never fire.
+        let gaps = processes
+            .iter()
+            .map(|p| match *p {
+                FaultProcess::BitError { ber } => geometric_gap(&mut rng, ber),
+                FaultProcess::Stall { probability, .. } | FaultProcess::Poison { probability } => {
+                    geometric_gap(&mut rng, probability)
+                }
+                FaultProcess::LinkDown { .. } => GAP_NEVER,
+            })
+            .collect();
+        let kinds = processes
+            .iter()
+            .fold(0u8, |m, p| m | 1 << kind_index(p.kind()));
         Injector {
             point,
             rng,
             processes,
+            gaps,
+            kinds,
             down_phase,
             fired: [0; 4],
         }
@@ -258,8 +323,9 @@ impl Injector {
         !self.processes.is_empty()
     }
 
+    #[inline]
     fn has_kind(&self, kind: FaultKind) -> bool {
-        self.processes.iter().any(|p| p.kind() == kind)
+        self.kinds & (1 << kind_index(kind)) != 0
     }
 
     fn record(&mut self, at: Time, kind: FaultKind) {
@@ -283,21 +349,32 @@ impl Injector {
         self.fired.iter().sum()
     }
 
-    /// Draws whether a `bits`-wide unit transferred at `at` is corrupt
-    /// under the bound BER process. No process → `false`, no draw.
+    /// Whether a `bits`-wide unit transferred at `at` is corrupt under
+    /// the bound BER processes. No process → `false`, no draw.
+    ///
+    /// Gap-sampled: the common case — the whole unit lies inside the
+    /// current inter-fire gap — is a single subtraction per bound
+    /// process; the RNG is touched only when a fire actually lands
+    /// inside the unit.
     pub fn corrupt_flit(&mut self, at: Time, bits: u32) -> bool {
         if !self.has_kind(FaultKind::FlitCorrupt) {
             return false;
         }
-        let p_unit = self
-            .processes
-            .iter()
-            .filter_map(|p| match p {
-                FaultProcess::BitError { ber } => Some(1.0 - (1.0 - ber).powi(bits as i32)),
-                _ => None,
-            })
-            .fold(0.0f64, |acc, p| acc + p - acc * p);
-        let hit = self.rng.gen_bool(p_unit);
+        let mut hit = false;
+        for i in 0..self.processes.len() {
+            let FaultProcess::BitError { ber } = self.processes[i] else {
+                continue;
+            };
+            let mut rem = bits as u64;
+            while self.gaps[i] < rem {
+                hit = true;
+                rem -= self.gaps[i] + 1;
+                self.gaps[i] = geometric_gap(&mut self.rng, ber);
+            }
+            if self.gaps[i] != GAP_NEVER {
+                self.gaps[i] -= rem;
+            }
+        }
         if hit {
             self.record(at, FaultKind::FlitCorrupt);
         }
@@ -322,23 +399,40 @@ impl Injector {
         }
     }
 
-    /// Draws whether an op issued at `at` stalls, returning the added
-    /// delay. No process → `None`, no draw.
+    /// Advances process `i`'s op-space gap by one op; returns true when
+    /// this op fires (gap hit zero), resampling the next gap.
+    #[inline]
+    fn op_fires(&mut self, i: usize, p: f64) -> bool {
+        if self.gaps[i] == 0 {
+            self.gaps[i] = geometric_gap(&mut self.rng, p);
+            true
+        } else {
+            if self.gaps[i] != GAP_NEVER {
+                self.gaps[i] -= 1;
+            }
+            false
+        }
+    }
+
+    /// Whether an op issued at `at` stalls, returning the added delay
+    /// (the max across bound stall processes that fire). No process →
+    /// `None`, no draw.
     pub fn stall(&mut self, at: Time) -> Option<Duration> {
         if !self.has_kind(FaultKind::PortStall) {
             return None;
         }
         let mut delay: Option<Duration> = None;
-        for p in self.processes.clone() {
-            if let FaultProcess::Stall {
+        for i in 0..self.processes.len() {
+            let FaultProcess::Stall {
                 probability,
                 delay: d,
-            } = p
-            {
-                if self.rng.gen_bool(probability) {
-                    let cur = delay.map_or(0, |d| d.as_picos());
-                    delay = Some(Duration::from_picos(cur.max(d.as_picos())));
-                }
+            } = self.processes[i]
+            else {
+                continue;
+            };
+            if self.op_fires(i, probability) {
+                let cur = delay.map_or(0, |d| d.as_picos());
+                delay = Some(Duration::from_picos(cur.max(d.as_picos())));
             }
         }
         if delay.is_some() {
@@ -347,17 +441,18 @@ impl Injector {
         delay
     }
 
-    /// Draws whether a line written at `at` is poisoned. No process →
+    /// Whether a line written at `at` is poisoned. No process →
     /// `false`, no draw.
     pub fn poison_line(&mut self, at: Time) -> bool {
         if !self.has_kind(FaultKind::Poison) {
             return false;
         }
         let mut hit = false;
-        for p in self.processes.clone() {
-            if let FaultProcess::Poison { probability } = p {
-                hit |= self.rng.gen_bool(probability);
-            }
+        for i in 0..self.processes.len() {
+            let FaultProcess::Poison { probability } = self.processes[i] else {
+                continue;
+            };
+            hit |= self.op_fires(i, probability);
         }
         if hit {
             self.record(at, FaultKind::Poison);
@@ -520,12 +615,132 @@ mod tests {
     }
 
     #[test]
-    fn zero_ber_never_fires_but_still_draws_consistently() {
+    fn zero_ber_never_fires_and_consumes_no_draws() {
         let plan = FaultPlan::new(11).with("l", FaultProcess::bit_error(0.0));
         let mut inj = plan.injector("l");
         for i in 0..1000 {
             assert!(!inj.corrupt_flit(at(i), 544));
         }
         assert_eq!(inj.total_fired(), 0);
+        // A p == 0 process draws nothing even at construction: binding
+        // it next to a live process leaves the live stream untouched.
+        let mixed = FaultPlan::new(11)
+            .with("m", FaultProcess::bit_error(0.0))
+            .with("m", FaultProcess::bit_error(1e-3));
+        let alone = FaultPlan::new(11).with("m", FaultProcess::bit_error(1e-3));
+        let mut a = mixed.injector("m");
+        let mut b = alone.injector("m");
+        let da: Vec<bool> = (0..512).map(|i| a.corrupt_flit(at(i), 544)).collect();
+        let db: Vec<bool> = (0..512).map(|i| b.corrupt_flit(at(i), 544)).collect();
+        assert_eq!(da, db);
+    }
+
+    /// The gap-sampling skip-ahead contract: a bulk query over an
+    /// n-bit unit must fire exactly when a bit-by-bit walk of the same
+    /// stream fires somewhere inside the unit, flit after flit. Run at
+    /// high BER so fires are dense and the equality exercises multiple
+    /// fires per flit, resampling, and gap-carry across flits.
+    #[test]
+    fn bulk_skip_ahead_matches_per_bit_stepping() {
+        for &(seed, ber, bits) in &[(42u64, 1e-2f64, 544u32), (7, 5e-2, 68), (13, 2e-3, 544)] {
+            let plan = FaultPlan::new(seed).with("l", FaultProcess::bit_error(ber));
+            let mut bulk = plan.injector("l");
+            let mut stepped = plan.injector("l");
+            let mut bulk_hits = 0u64;
+            for f in 0..2_000u64 {
+                let hit = bulk.corrupt_flit(at(f), bits);
+                let mut any = false;
+                for b in 0..bits {
+                    any |= stepped.corrupt_flit(at(f * bits as u64 + b as u64), 1);
+                }
+                assert_eq!(
+                    hit, any,
+                    "flit {f} diverged (seed {seed}, ber {ber}, bits {bits})"
+                );
+                bulk_hits += hit as u64;
+            }
+            assert!(bulk_hits > 0, "high-BER stream must fire");
+        }
+    }
+
+    /// Common-random-numbers coupling across a BER ladder: with one
+    /// shared uniform stream, the k-th geometric gap shrinks as the
+    /// rate rises, so the fire count over any fixed horizon is
+    /// non-decreasing in BER — the property the fault sweep's
+    /// goodput/p999 monotonicity gates stand on.
+    #[test]
+    fn gap_fires_dominate_across_ber_ladder() {
+        let ladder = [1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2];
+        for seed in [3u64, 17, 91] {
+            let mut prev = 0u64;
+            for &ber in &ladder {
+                let plan = FaultPlan::new(seed).with("l", FaultProcess::bit_error(ber));
+                let mut inj = plan.injector("l");
+                let mut fires = 0u64;
+                for f in 0..20_000u64 {
+                    fires += inj.corrupt_flit(at(f), 544) as u64;
+                }
+                assert!(
+                    fires >= prev,
+                    "seed {seed}: {fires} fires at ber {ber} < {prev} at the lower rung"
+                );
+                prev = fires;
+            }
+            assert!(prev > 0, "seed {seed}: top rung must fire");
+        }
+    }
+
+    /// Gap sampling preserves the per-unit Bernoulli rate: the corrupt
+    /// fraction over many flits matches 1 - (1-ber)^bits.
+    #[test]
+    fn corruption_rate_matches_bernoulli_expectation() {
+        let ber = 1e-4;
+        let bits = 544u32;
+        let plan = FaultPlan::new(1234).with("l", FaultProcess::bit_error(ber));
+        let mut inj = plan.injector("l");
+        let n = 200_000u64;
+        let mut hits = 0u64;
+        for f in 0..n {
+            hits += inj.corrupt_flit(at(f), bits) as u64;
+        }
+        let expected = (1.0 - (1.0f64 - ber).powi(bits as i32)) * n as f64;
+        let ratio = hits as f64 / expected;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "{hits} hits vs {expected:.0} expected (ratio {ratio:.3})"
+        );
+    }
+
+    /// Pinned stream regression: the exact first fire positions of a
+    /// fixed (seed, point, process) triple. Any change to the gap
+    /// derivation — draw order, inversion formula, state carry — moves
+    /// these and must be a conscious re-pin.
+    #[test]
+    fn fire_positions_are_pinned() {
+        let plan = FaultPlan::new(42)
+            .with("link.cxl", FaultProcess::bit_error(1e-3))
+            .with(
+                "dcoh.slice",
+                FaultProcess::stall(0.05, Duration::from_nanos(100)),
+            );
+        let mut link = plan.injector("link.cxl");
+        let corrupt: Vec<u64> = (0..4_000u64)
+            .filter(|&f| link.corrupt_flit(at(f), 544))
+            .take(6)
+            .collect();
+        let mut slice = plan.injector("dcoh.slice");
+        let stalls: Vec<u64> = (0..4_000u64)
+            .filter(|&o| slice.stall(at(o)).is_some())
+            .take(6)
+            .collect();
+        assert_eq!(corrupt, pinned::CORRUPT_FLITS, "corrupt flit positions");
+        assert_eq!(stalls, pinned::STALL_OPS, "stall op positions");
+    }
+
+    /// Expected values for [`fire_positions_are_pinned`], captured from
+    /// the gap-sampling implementation at introduction time.
+    mod pinned {
+        pub const CORRUPT_FLITS: [u64; 6] = [4, 6, 7, 14, 17, 20];
+        pub const STALL_OPS: [u64; 6] = [17, 35, 51, 55, 58, 65];
     }
 }

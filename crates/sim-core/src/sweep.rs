@@ -46,6 +46,158 @@ use std::thread;
 use crate::rng::splitmix64;
 use crate::trace::{self, PointCapture};
 
+/// Opt-in per-stage wall-clock breakdown of sweep execution.
+///
+/// When enabled (the `repro_*` binaries flip it on for `--profile`),
+/// the sweep runner and the harnesses attribute wall time to four
+/// stages:
+///
+/// * **setup** — per-point construction work (sockets, devices,
+///   datasets), tagged by harness code via [`scope`];
+/// * **events** — the whole point closure, measured by the runner;
+///   setup and counter-merge tagged *inside* a point are nested within
+///   it, so the rendered report also derives an exclusive figure;
+/// * **trace-splice** — reassembling worker trace captures in point
+///   order after the pool joins;
+/// * **counter-merge** — report assembly / counter reduction, tagged by
+///   `sim_core::traffic` and harness reducers.
+///
+/// Totals are process-wide relaxed atomics: workers add from any
+/// thread, and [`take`] drains the accumulated report. Disabled, every
+/// hook is a single relaxed load — the hot path stays hot. Wall-clock
+/// numbers are diagnostics only; nothing simulated depends on them.
+pub mod profile {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Instant;
+
+    /// A profiled execution stage.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Stage {
+        /// Per-point construction (harness-tagged).
+        Setup,
+        /// The whole point closure (runner-tagged).
+        Events,
+        /// Post-join trace capture reassembly (runner-tagged).
+        TraceSplice,
+        /// Counter/report reduction (library/harness-tagged).
+        CounterMerge,
+    }
+
+    impl Stage {
+        /// Stable display names, report order.
+        pub const ALL: [Stage; 4] = [
+            Stage::Setup,
+            Stage::Events,
+            Stage::TraceSplice,
+            Stage::CounterMerge,
+        ];
+
+        /// The stage's report label.
+        pub fn name(self) -> &'static str {
+            match self {
+                Stage::Setup => "setup",
+                Stage::Events => "events",
+                Stage::TraceSplice => "trace-splice",
+                Stage::CounterMerge => "counter-merge",
+            }
+        }
+    }
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static TOTALS_NS: [AtomicU64; 4] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+    static POINTS: AtomicU64 = AtomicU64::new(0);
+
+    /// Globally enables or disables stage accounting.
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    /// True if stage accounting is on.
+    #[inline]
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f`, attributing its wall time to `stage` when profiling is
+    /// enabled. Nested scopes each record their own full span.
+    #[inline]
+    pub fn scope<T>(stage: Stage, f: impl FnOnce() -> T) -> T {
+        if !enabled() {
+            return f();
+        }
+        let begin = Instant::now();
+        let out = f();
+        TOTALS_NS[stage as usize].fetch_add(begin.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Counts one completed sweep point (for the ns/point column).
+    pub(super) fn note_point() {
+        if enabled() {
+            POINTS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A drained snapshot of the accumulated stage totals.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct ProfileReport {
+        /// Total ns per stage, indexed like [`Stage::ALL`].
+        pub ns: [u64; 4],
+        /// Sweep points completed while profiling was enabled.
+        pub points: u64,
+    }
+
+    /// Drains the totals accumulated since the last `take` and resets
+    /// them to zero.
+    pub fn take() -> ProfileReport {
+        let mut ns = [0u64; 4];
+        for (slot, total) in ns.iter_mut().zip(&TOTALS_NS) {
+            *slot = total.swap(0, Ordering::Relaxed);
+        }
+        ProfileReport {
+            ns,
+            points: POINTS.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    impl ProfileReport {
+        /// Renders the per-stage table: total ns, ns/point, plus the
+        /// events figure with nested setup/counter-merge subtracted out
+        /// (those stages run *inside* point closures).
+        pub fn render(&self) -> String {
+            use core::fmt::Write as _;
+            let points = self.points.max(1);
+            let mut out = String::from("sweep profile (wall clock):\n");
+            for stage in Stage::ALL {
+                let total = self.ns[stage as usize];
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {:>14} ns  {:>12} ns/point",
+                    stage.name(),
+                    total,
+                    total / points
+                );
+            }
+            let nested = self.ns[Stage::Setup as usize] + self.ns[Stage::CounterMerge as usize];
+            let events = self.ns[Stage::Events as usize].saturating_sub(nested);
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>14} ns  {:>12} ns/point",
+                "events (excl.)",
+                events,
+                events / points
+            );
+            let _ = writeln!(out, "  points: {}", self.points);
+            out
+        }
+    }
+}
+
 /// Environment variable overriding the worker-pool size.
 pub const THREADS_ENV: &str = "CXL_SIM_THREADS";
 
@@ -106,7 +258,13 @@ where
     }
     let threads = threads.max(1).min(points);
     if threads == 1 {
-        return (0..points).map(f).collect();
+        return (0..points)
+            .map(|i| {
+                let v = profile::scope(profile::Stage::Events, || f(i));
+                profile::note_point();
+                v
+            })
+            .collect();
     }
 
     let capture = trace::installed_capacity();
@@ -129,7 +287,8 @@ where
                     if i >= points {
                         break;
                     }
-                    let value = f(i);
+                    let value = profile::scope(profile::Stage::Events, || f(i));
+                    profile::note_point();
                     let point = if capture.is_some() {
                         trace::take_point()
                     } else {
@@ -154,7 +313,9 @@ where
         }
     }
     if capture.is_some() {
-        trace::splice_owned(captures);
+        profile::scope(profile::Stage::TraceSplice, || {
+            trace::splice_owned(captures)
+        });
     }
     values
 }

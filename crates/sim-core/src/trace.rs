@@ -47,7 +47,9 @@
 
 use core::cell::{Cell, RefCell};
 use core::fmt::Write as _;
-use std::collections::BTreeMap;
+use core::sync::atomic::{AtomicU32, Ordering};
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
 
 use crate::time::Time;
 
@@ -449,6 +451,113 @@ impl Span {
 }
 
 // =====================================================================
+// Counter interning
+// =====================================================================
+
+/// Process-wide counter-name interner: one dense `u32` per distinct
+/// name, handed out in first-intern order. Snapshot rendering sorts by
+/// *name*, so the id order never leaks into any output — it only has to
+/// be stable within one process so every [`CounterRegistry`] indexes the
+/// same slot for the same name.
+struct Interner {
+    ids: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            ids: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+/// Dense process-wide id of an interned counter name.
+///
+/// Obtained from [`CounterId::intern`] (dynamic keys, interned once at
+/// build time) or cached in a [`CounterSlot`] static (fixed keys at bump
+/// sites). Bumping through an id is a single `Vec` index — no string
+/// compare, no tree walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
+
+impl CounterId {
+    /// Interns `name`, returning its dense id (idempotent).
+    pub fn intern(name: &'static str) -> CounterId {
+        if let Some(&id) = interner().read().unwrap().ids.get(name) {
+            return CounterId(id);
+        }
+        let mut w = interner().write().unwrap();
+        if let Some(&id) = w.ids.get(name) {
+            return CounterId(id);
+        }
+        let id = u32::try_from(w.names.len()).expect("more than u32::MAX counter names");
+        w.ids.insert(name, id);
+        w.names.push(name);
+        CounterId(id)
+    }
+
+    /// The interned name.
+    pub fn name(self) -> &'static str {
+        interner().read().unwrap().names[self.0 as usize]
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A lazily-resolved [`CounterId`] cache for a fixed counter name,
+/// usable in a `static`:
+///
+/// ```
+/// use sim_core::trace::{CounterRegistry, CounterSlot};
+///
+/// static WRITEBACKS: CounterSlot = CounterSlot::new("device.hmc.writebacks");
+/// let mut c = CounterRegistry::new();
+/// c.bump(&WRITEBACKS);
+/// assert_eq!(c.get("device.hmc.writebacks"), 1);
+/// ```
+///
+/// The first bump interns the name; every later bump through the same
+/// slot is a relaxed atomic load plus a `Vec` index.
+pub struct CounterSlot {
+    name: &'static str,
+    id: AtomicU32,
+}
+
+/// Sentinel for a [`CounterSlot`] whose name has not been interned yet.
+const SLOT_UNRESOLVED: u32 = u32::MAX;
+
+impl CounterSlot {
+    /// A slot for `name`, resolvable in a `static` context.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            id: AtomicU32::new(SLOT_UNRESOLVED),
+        }
+    }
+
+    /// The slot's dense id, interning the name on first use.
+    pub fn id(&self) -> CounterId {
+        let cached = self.id.load(Ordering::Relaxed);
+        if cached != SLOT_UNRESOLVED {
+            return CounterId(cached);
+        }
+        let id = CounterId::intern(self.name);
+        self.id.store(id.0, Ordering::Relaxed);
+        id
+    }
+
+    /// The counter name this slot resolves.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+// =====================================================================
 // CounterRegistry
 // =====================================================================
 
@@ -458,6 +567,15 @@ impl Span {
 /// hierarchy is expressed by [`CounterRegistry::sum_prefix`], which sums
 /// a whole subtree. Merging registries adds matching counters, so
 /// per-shard registries can be reduced without order sensitivity.
+///
+/// Storage is a dense `Vec<u64>` indexed by interned [`CounterId`] — a
+/// bump is an array index, not a string-keyed tree walk. A parallel
+/// `touched` bitmap preserves the distinction between "never bumped" and
+/// "bumped with zero" (a counter added with `n == 0` still appears in
+/// snapshots, exactly as the former `BTreeMap` storage behaved).
+/// Name-sorted order is recovered only at snapshot time ([`Self::iter`],
+/// [`Self::to_jsonl`], [`Self::to_human`]), so rendered output is
+/// byte-identical to the legacy lexicographic rendering.
 ///
 /// # Examples
 ///
@@ -470,9 +588,10 @@ impl Span {
 /// assert_eq!(c.get("device.hmc.writebacks"), 3);
 /// assert_eq!(c.sum_prefix("device"), 4);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Clone, Default)]
 pub struct CounterRegistry {
-    counters: BTreeMap<&'static str, u64>,
+    values: Vec<u64>,
+    touched: Vec<bool>,
 }
 
 impl CounterRegistry {
@@ -481,57 +600,114 @@ impl CounterRegistry {
         Self::default()
     }
 
-    /// Adds `n` to the named counter, creating it at zero if absent.
-    pub fn add(&mut self, name: &'static str, n: u64) {
-        *self.counters.entry(name).or_insert(0) += n;
+    /// Adds `n` to the counter with interned id `id` (hot path: two
+    /// `Vec` indexes once the registry has seen an id at least as
+    /// large).
+    #[inline]
+    pub fn add_id(&mut self, id: CounterId, n: u64) {
+        let i = id.index();
+        if i >= self.values.len() {
+            self.values.resize(i + 1, 0);
+            self.touched.resize(i + 1, false);
+        }
+        self.values[i] += n;
+        self.touched[i] = true;
     }
 
-    /// Increments the named counter by one.
+    /// Increments the slot's counter by one.
+    #[inline]
+    pub fn bump(&mut self, slot: &CounterSlot) {
+        self.add_id(slot.id(), 1);
+    }
+
+    /// Adds `n` to the slot's counter.
+    #[inline]
+    pub fn bump_by(&mut self, slot: &CounterSlot, n: u64) {
+        self.add_id(slot.id(), n);
+    }
+
+    /// Adds `n` to the named counter, creating it at zero if absent.
+    ///
+    /// Interns `name` on every call — cold-path convenience. Hot loops
+    /// should pre-intern via [`CounterSlot`] or [`CounterId::intern`].
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        self.add_id(CounterId::intern(name), n);
+    }
+
+    /// Increments the named counter by one (interns `name`; see
+    /// [`Self::add`]).
     pub fn incr(&mut self, name: &'static str) {
         self.add(name, 1);
     }
 
     /// The counter's value (zero if never touched).
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        let Some(&id) = interner().read().unwrap().ids.get(name) else {
+            return 0;
+        };
+        self.values.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Touched `(id, value)` pairs in id order (not name order).
+    fn entries(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.touched
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t)
+            .map(|(i, _)| (i as u32, self.values[i]))
     }
 
     /// Sums the counter subtree rooted at `prefix`: the counter named
     /// exactly `prefix` plus every counter under `prefix.`.
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
-        self.counters
-            .iter()
-            .filter(|(k, _)| {
-                **k == prefix
+        let interner = interner().read().unwrap();
+        self.entries()
+            .filter(|&(i, _)| {
+                let k = interner.names[i as usize];
+                k == prefix
                     || (k.len() > prefix.len()
                         && k.starts_with(prefix)
                         && k.as_bytes()[prefix.len()] == b'.')
             })
-            .map(|(_, v)| *v)
+            .map(|(_, v)| v)
             .sum()
     }
 
     /// Number of distinct counters.
     pub fn len(&self) -> usize {
-        self.counters.len()
+        self.entries().count()
     }
 
     /// True if no counter exists.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+        !self.touched.iter().any(|&t| t)
     }
 
     /// Adds every counter of `other` into `self` (additive, commutative
     /// and associative across merges).
     pub fn merge(&mut self, other: &CounterRegistry) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k).or_insert(0) += v;
+        if self.values.len() < other.values.len() {
+            self.values.resize(other.values.len(), 0);
+            self.touched.resize(other.touched.len(), false);
+        }
+        for (i, v) in other.entries() {
+            self.values[i as usize] += v;
+            self.touched[i as usize] = true;
         }
     }
 
     /// Iterates counters in lexicographic (deterministic) order.
+    ///
+    /// Sorting by name happens here, at snapshot time — the bump path
+    /// never pays for ordering.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+        let interner = interner().read().unwrap();
+        let mut out: Vec<(&'static str, u64)> = self
+            .entries()
+            .map(|(i, v)| (interner.names[i as usize], v))
+            .collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out.into_iter()
     }
 
     /// JSON-lines export, one counter per line, lexicographic order.
@@ -551,6 +727,28 @@ impl CounterRegistry {
             let _ = writeln!(out, "{k:<width$}  {v}");
         }
         out
+    }
+}
+
+impl PartialEq for CounterRegistry {
+    /// Equality over touched `(name, value)` pairs — trailing untouched
+    /// slots (an artifact of which ids a registry happened to see) never
+    /// distinguish two registries.
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.touched.len().max(other.touched.len());
+        (0..n).all(|i| {
+            let a = self.touched.get(i).copied().unwrap_or(false);
+            let b = other.touched.get(i).copied().unwrap_or(false);
+            a == b && (!a || self.values[i] == other.values[i])
+        })
+    }
+}
+
+impl Eq for CounterRegistry {}
+
+impl core::fmt::Debug for CounterRegistry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
     }
 }
 

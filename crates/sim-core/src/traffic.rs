@@ -55,8 +55,15 @@ use crate::rng::SimRng;
 use crate::stats::{bandwidth_gbps, Histogram};
 use crate::sweep;
 use crate::time::{Duration, Time};
-use crate::trace::{self, CounterRegistry, TraceEvent};
+use crate::trace::{self, CounterId, CounterRegistry, CounterSlot, TraceEvent};
 use tinybench::hist::TailSummary;
+
+/// Interned slots for the fixed per-run traffic counters (bumped once
+/// per completion — the hot part of report assembly).
+static OPS: CounterSlot = CounterSlot::new("traffic.ops");
+static OPS_RETRIED: CounterSlot = CounterSlot::new("traffic.ops.retried");
+static OPS_FAILED: CounterSlot = CounterSlot::new("traffic.ops.failed");
+static BYTES: CounterSlot = CounterSlot::new("traffic.bytes");
 
 /// How a flow's requests arrive.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -552,51 +559,63 @@ impl TrafficScheduler {
             .iter()
             .map(|f| FlowStats::new(f.spec.name, f.spec.device))
             .collect();
+        // Per-device counter names are interned once per run, not per
+        // completion — the assembly loop below bumps dense ids only.
+        let dev_ids: Vec<Option<(CounterId, CounterId)>> = flows
+            .iter()
+            .map(|f| {
+                f.spec.device.map(|device| {
+                    (
+                        CounterId::intern(dev_key(&DEV_OPS_KEYS, device)),
+                        CounterId::intern(dev_key(&DEV_BYTES_KEYS, device)),
+                    )
+                })
+            })
+            .collect();
         let mut counters = CounterRegistry::new();
-        for c in &completions {
-            let op = &c.payload;
-            let s = &mut stats[op.flow as usize];
-            if s.ops == 0 || c.issued < s.first_issue {
-                s.first_issue = c.issued;
-            }
-            s.last_completion = s.last_completion.max(c.completed);
-            s.ops += 1;
-            s.bytes += flows[op.flow as usize].spec.bytes_per_op;
-            let sojourn = c.completed.duration_since(op.ready);
-            s.hist.record(sojourn);
-            s.sojourn += sojourn;
-            s.busy += c.completed.duration_since(c.issued);
-            match c.outcome {
-                OpOutcome::Clean => s.clean += 1,
-                OpOutcome::Retried => {
-                    s.retried += 1;
-                    s.retried_hist.record(sojourn);
-                    counters.incr("traffic.ops.retried");
+        sweep::profile::scope(sweep::profile::Stage::CounterMerge, || {
+            for c in &completions {
+                let op = &c.payload;
+                let s = &mut stats[op.flow as usize];
+                if s.ops == 0 || c.issued < s.first_issue {
+                    s.first_issue = c.issued;
                 }
-                OpOutcome::Failed => {
-                    s.failed += 1;
-                    s.failed_hist.record(sojourn);
-                    counters.incr("traffic.ops.failed");
+                s.last_completion = s.last_completion.max(c.completed);
+                s.ops += 1;
+                s.bytes += flows[op.flow as usize].spec.bytes_per_op;
+                let sojourn = c.completed.duration_since(op.ready);
+                s.hist.record(sojourn);
+                s.sojourn += sojourn;
+                s.busy += c.completed.duration_since(c.issued);
+                match c.outcome {
+                    OpOutcome::Clean => s.clean += 1,
+                    OpOutcome::Retried => {
+                        s.retried += 1;
+                        s.retried_hist.record(sojourn);
+                        counters.bump(&OPS_RETRIED);
+                    }
+                    OpOutcome::Failed => {
+                        s.failed += 1;
+                        s.failed_hist.record(sojourn);
+                        counters.bump(&OPS_FAILED);
+                    }
                 }
-            }
-            counters.incr("traffic.ops");
-            counters.add("traffic.bytes", flows[op.flow as usize].spec.bytes_per_op);
-            if let Some(device) = flows[op.flow as usize].spec.device {
-                counters.incr(dev_key(&DEV_OPS_KEYS, device));
-                counters.add(
-                    dev_key(&DEV_BYTES_KEYS, device),
-                    flows[op.flow as usize].spec.bytes_per_op,
+                counters.bump(&OPS);
+                counters.bump_by(&BYTES, flows[op.flow as usize].spec.bytes_per_op);
+                if let Some((ops_id, bytes_id)) = dev_ids[op.flow as usize] {
+                    counters.add_id(ops_id, 1);
+                    counters.add_id(bytes_id, flows[op.flow as usize].spec.bytes_per_op);
+                }
+                trace::emit(
+                    c.completed,
+                    TraceEvent::FlowOp {
+                        flow: op.flow,
+                        line: op.line,
+                        sojourn_ps: sojourn.as_picos(),
+                    },
                 );
             }
-            trace::emit(
-                c.completed,
-                TraceEvent::FlowOp {
-                    flow: op.flow,
-                    line: op.line,
-                    sojourn_ps: sojourn.as_picos(),
-                },
-            );
-        }
+        });
         TrafficReport {
             flows: stats,
             counters,

@@ -5,7 +5,7 @@ use sim_core::event::EventQueue;
 use sim_core::rng::SimRng;
 use sim_core::stats::{Histogram, Samples};
 use sim_core::time::{Duration, Time};
-use sim_core::trace::{TraceEvent, TraceRing};
+use sim_core::trace::{CounterId, CounterRegistry, TraceEvent, TraceRing};
 
 proptest! {
     /// `schedule_batch` is observationally identical to scheduling each
@@ -169,5 +169,133 @@ proptest! {
         prop_assert_eq!(da + db, db + da);
         prop_assert_eq!((da + db) + dc, da + (db + dc));
         prop_assert_eq!((Time::ZERO + da + db).duration_since(Time::ZERO), da + db);
+    }
+}
+
+// =====================================================================
+// Interned counter registry vs the legacy BTreeMap model
+// =====================================================================
+
+/// Name pool for counter properties: includes exact-name/prefix
+/// collisions (`traffic.ops` vs `traffic.ops.retried`) and lone roots,
+/// the cases the `sum_prefix` dot-boundary filter must not conflate.
+const COUNTER_NAMES: [&str; 12] = [
+    "a",
+    "a.b",
+    "a.b.c",
+    "ab",
+    "device.d2h.requests",
+    "device.dmc.writebacks",
+    "device.hmc.writebacks",
+    "fabric.routed",
+    "fabric.routed.dev0",
+    "traffic.bytes",
+    "traffic.ops",
+    "traffic.ops.retried",
+];
+
+/// The pre-interning implementation, replayed as a model: a string-keyed
+/// sorted map bumped per op, rendered lexicographically.
+#[derive(Default)]
+struct LegacyCounters {
+    map: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl LegacyCounters {
+    fn add(&mut self, name: &'static str, n: u64) {
+        *self.map.entry(name).or_insert(0) += n;
+    }
+
+    fn merge(&mut self, other: &LegacyCounters) {
+        for (&k, &v) in &other.map {
+            self.add(k, v);
+        }
+    }
+
+    fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.map
+            .iter()
+            .filter(|(k, _)| {
+                **k == prefix
+                    || (k.len() > prefix.len()
+                        && k.starts_with(prefix)
+                        && k.as_bytes()[prefix.len()] == b'.')
+            })
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.map {
+            out.push_str(&format!("{{\"counter\":\"{k}\",\"value\":{v}}}\n"));
+        }
+        out
+    }
+
+    fn to_human(&self) -> String {
+        let width = self.map.keys().map(|k| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in &self.map {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        out
+    }
+}
+
+proptest! {
+    /// The interned dense-slot registry is observationally identical to
+    /// the legacy `BTreeMap` rendering for arbitrary bump interleavings
+    /// across two registries: byte-identical `to_jsonl`/`to_human`
+    /// (including counters bumped with zero, which must still render),
+    /// matching `get`/`len`/`sum_prefix`, and the same bytes again
+    /// after an additive `merge`.
+    #[test]
+    fn interned_registry_matches_btreemap_model(
+        ops in proptest::collection::vec(
+            (0usize..COUNTER_NAMES.len(), 0u64..5, any::<bool>()),
+            0..60,
+        ),
+        prefix_idx in 0usize..COUNTER_NAMES.len(),
+    ) {
+        let mut reg = [CounterRegistry::new(), CounterRegistry::new()];
+        let mut model = [LegacyCounters::default(), LegacyCounters::default()];
+        for &(name_idx, n, second) in &ops {
+            let name = COUNTER_NAMES[name_idx];
+            let which = usize::from(second);
+            // Alternate entry points: the cold per-call interning path
+            // and the pre-interned id path must agree.
+            if n == 1 {
+                reg[which].incr(name);
+            } else {
+                reg[which].add_id(CounterId::intern(name), n);
+            }
+            model[which].add(name, n);
+        }
+
+        for (r, m) in reg.iter().zip(&model) {
+            prop_assert_eq!(r.to_jsonl(), m.to_jsonl());
+            prop_assert_eq!(r.to_human(), m.to_human());
+            prop_assert_eq!(r.len(), m.map.len());
+            for name in COUNTER_NAMES {
+                prop_assert_eq!(r.get(name), m.map.get(name).copied().unwrap_or(0));
+            }
+            for prefix in ["a", "ab", "a.b", "fabric", "traffic.ops", "device.", "nope"] {
+                prop_assert_eq!(r.sum_prefix(prefix), m.sum_prefix(prefix));
+            }
+            let chosen = COUNTER_NAMES[prefix_idx];
+            prop_assert_eq!(r.sum_prefix(chosen), m.sum_prefix(chosen));
+        }
+
+        let [mut reg_a, reg_b] = reg;
+        let [mut model_a, model_b] = model;
+        reg_a.merge(&reg_b);
+        model_a.merge(&model_b);
+        prop_assert_eq!(reg_a.to_jsonl(), model_a.to_jsonl());
+        prop_assert_eq!(reg_a.to_human(), model_a.to_human());
+        // Merge is additive: merging an empty registry changes nothing.
+        let before = reg_a.to_jsonl();
+        reg_a.merge(&CounterRegistry::new());
+        prop_assert_eq!(reg_a.to_jsonl(), before);
     }
 }

@@ -135,9 +135,22 @@ pub mod report {
         pub ns: f64,
     }
 
+    /// Capture-environment metadata attached to a report. Wall-clock
+    /// figures only compare apples-to-apples when the runner looks the
+    /// same, so the comparator refuses cross-core-count comparisons.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct Meta {
+        /// Logical cores on the machine that captured the report.
+        pub host_cores: Option<u64>,
+        /// Worker-pool size the parallel scenarios ran with.
+        pub threads: Option<u64>,
+    }
+
     /// A set of scenario measurements, serializable to/from JSON.
     #[derive(Debug, Clone, Default, PartialEq)]
     pub struct BenchReport {
+        /// Where and how the figures were captured.
+        pub meta: Meta,
         /// The scenarios, in recording order.
         pub scenarios: Vec<Scenario>,
     }
@@ -161,6 +174,37 @@ pub mod report {
             Self::default()
         }
 
+        /// Stamps the capture environment (runner core count, worker
+        /// threads) onto the report.
+        pub fn set_meta(&mut self, host_cores: u64, threads: u64) {
+            self.meta = Meta {
+                host_cores: Some(host_cores),
+                threads: Some(threads),
+            };
+        }
+
+        /// Checks that `baseline` was captured on a runner this
+        /// report's figures can honestly be compared against: both
+        /// reports must carry a core count and they must match. A
+        /// baseline with no metadata (a pre-metadata capture) is also
+        /// rejected — re-baseline to stamp it.
+        pub fn comparable(&self, baseline: &BenchReport) -> Result<(), String> {
+            let mine = self
+                .meta
+                .host_cores
+                .ok_or_else(|| "current report carries no host_cores metadata".to_string())?;
+            let theirs = baseline.meta.host_cores.ok_or_else(|| {
+                "baseline carries no host_cores metadata; re-baseline to stamp it".to_string()
+            })?;
+            if mine != theirs {
+                return Err(format!(
+                    "baseline captured on {theirs} core(s), this runner has {mine}: wall-clock \
+                     figures are not comparable, re-baseline on this runner"
+                ));
+            }
+            Ok(())
+        }
+
         /// Records one scenario (replacing an earlier same-named one).
         pub fn record(&mut self, name: &str, ns: f64) {
             if let Some(s) = self.scenarios.iter_mut().find(|s| s.name == name) {
@@ -180,7 +224,13 @@ pub mod report {
 
         /// JSON export, one scenario per line (stable, diff-friendly).
         pub fn to_json(&self) -> String {
-            let mut out = String::from("{\n  \"scenarios\": [\n");
+            let mut out = String::from("{\n");
+            if let (Some(cores), Some(threads)) = (self.meta.host_cores, self.meta.threads) {
+                out.push_str(&format!(
+                    "  \"meta\": {{\"host_cores\":{cores},\"threads\":{threads}}},\n"
+                ));
+            }
+            out.push_str("  \"scenarios\": [\n");
             for (i, s) in self.scenarios.iter().enumerate() {
                 let comma = if i + 1 == self.scenarios.len() {
                     ""
@@ -202,6 +252,21 @@ pub mod report {
             let mut report = BenchReport::new();
             for line in s.lines() {
                 let line = line.trim().trim_end_matches(',');
+                if let Some(rest) = line.strip_prefix("\"meta\": {") {
+                    let grab = |key: &str| -> Option<u64> {
+                        let (_, v) = rest.split_once(&format!("\"{key}\":"))?;
+                        v.trim_start()
+                            .split(|c: char| !c.is_ascii_digit())
+                            .next()?
+                            .parse()
+                            .ok()
+                    };
+                    report.meta = Meta {
+                        host_cores: grab("host_cores"),
+                        threads: grab("threads"),
+                    };
+                    continue;
+                }
                 let Some(rest) = line.strip_prefix("{\"name\":\"") else {
                     continue;
                 };
@@ -277,6 +342,33 @@ pub mod report {
             assert_eq!(regs.len(), 1);
             assert_eq!(regs[0].name, "b");
             assert!((regs[0].ratio - 1.5).abs() < 1e-9);
+        }
+
+        #[test]
+        fn meta_round_trips_and_gates_comparability() {
+            let mut captured = BenchReport::new();
+            captured.set_meta(4, 4);
+            captured.record("a", 100.0);
+            let parsed = BenchReport::from_json(&captured.to_json()).unwrap();
+            assert_eq!(parsed.meta.host_cores, Some(4));
+            assert_eq!(parsed.meta.threads, Some(4));
+
+            let mut fresh = BenchReport::new();
+            fresh.set_meta(4, 4);
+            assert!(fresh.comparable(&parsed).is_ok());
+
+            let mut one_core = BenchReport::new();
+            one_core.set_meta(1, 4);
+            let err = fresh.comparable(&one_core).unwrap_err();
+            assert!(err.contains("1 core(s)"), "{err}");
+
+            // Pre-metadata baselines are refused, not silently gated.
+            let legacy = BenchReport::from_json(
+                "{\n  \"scenarios\": [\n    {\"name\":\"a\",\"ns\":1.0}\n  ]\n}\n",
+            )
+            .unwrap();
+            assert_eq!(legacy.meta, Meta::default());
+            assert!(fresh.comparable(&legacy).is_err());
         }
 
         #[test]
