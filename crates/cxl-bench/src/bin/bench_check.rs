@@ -47,9 +47,7 @@ fn field(line: &str, key: &str) -> Option<String> {
     if let Some(stripped) = rest.strip_prefix('"') {
         stripped.split('"').next().map(str::to_string)
     } else {
-        rest.split([',', '}'])
-            .next()
-            .map(|v| v.trim().to_string())
+        rest.split([',', '}']).next().map(|v| v.trim().to_string())
     }
 }
 

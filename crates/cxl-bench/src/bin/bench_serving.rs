@@ -1,0 +1,106 @@
+//! Wall-clock and quality harness for the multi-tenant serving sweep.
+//! Emits a machine-readable [`BenchReport`] (`BENCH_serving.json` is the
+//! committed baseline) and, with `--check`, fails when a tracked
+//! scenario regresses beyond tolerance.
+//!
+//! Usage:
+//!   bench_serving [--out PATH] [--check BASELINE] [--tolerance FRAC]
+//!
+//! Tracked figures are all lower-is-better: wall nanoseconds of the
+//! sweep, the victim p999 (ns) of the isolated / antagonist-qos /
+//! antagonist-noqos rows and of every QoS-on BER point, the two
+//! isolation ratios (victim p999 relative to isolated, so the QoS
+//! guarantee itself is regression-checked), `ns_per_good_mb` of the
+//! QoS row (inverse victim goodput), and heap allocations per sweep
+//! point. `*_speedup_4t` entries are informational and never
+//! regression-checked.
+
+use criterion::report::BenchReport;
+use cxl_bench::benchkit::{self, allocs_in, time_min};
+use cxl_bench::serving::{ber_label, run_serving_with_threads, serving_points};
+use sim_core::trace;
+
+const SEED: u64 = 42;
+const BENCH_THREADS: u64 = 4;
+
+cxl_bench::counting_allocator!();
+
+fn main() {
+    let args = benchkit::BenchArgs::from_env("bench_serving", 0.25);
+
+    let mut report = BenchReport::new();
+    report.set_meta(benchkit::host_cores(), BENCH_THREADS);
+
+    let points = serving_points().len() as f64;
+    println!("== multi-tenant serving sweep ({points} scenario rows) ==");
+    let serial = time_min(3, || {
+        std::hint::black_box(run_serving_with_threads(1, SEED));
+    });
+    report.record("serving_sweep_serial", serial);
+    println!("  serial                   {:>12.0} ns", serial);
+    let par4 = time_min(3, || {
+        std::hint::black_box(run_serving_with_threads(4, SEED));
+    });
+    report.record("serving_sweep_4t", par4);
+    let speedup = serial / par4;
+    report.record("serving_sweep_speedup_4t", speedup);
+    println!(
+        "  4 threads                {:>12.0} ns   ({speedup:.2}x)",
+        par4
+    );
+
+    // Simulated-quality figures: deterministic, so any change is a real
+    // model change, not noise.
+    let rows = run_serving_with_threads(1, SEED);
+    let iso = rows.iter().find(|r| r.scenario == "isolated").unwrap();
+    println!("  quality figures (simulated, deterministic):");
+    for r in &rows {
+        let p999_ns = r.victim.p999 as f64 / 1e3;
+        let name = match r.scenario {
+            "qos-ber" => format!("serving_victim_p999_ber{}", ber_label(r.ber)),
+            s => format!("serving_victim_p999_{s}"),
+        };
+        report.record(&name, p999_ns);
+        println!("    {:<32} {p999_ns:>9.1} ns", name);
+    }
+    let iso_p999 = iso.victim.p999 as f64;
+    let qos = rows
+        .iter()
+        .find(|r| r.scenario == "antagonist-qos")
+        .unwrap();
+    let noqos = rows
+        .iter()
+        .find(|r| r.scenario == "antagonist-noqos")
+        .unwrap();
+    // The QoS guarantee as a tracked ratio: qos-on damage relative to
+    // isolated (gate: <= 2.0 with margin under the default tolerance).
+    report.record("serving_qos_p999_ratio", qos.victim.p999 as f64 / iso_p999);
+    // And the inverse of the noqos blow-up, so *less* degradation with
+    // QoS off (antagonist no longer hurting = model change) also trips.
+    report.record(
+        "serving_noqos_p999_inverse_ratio",
+        iso_p999 / noqos.victim.p999 as f64,
+    );
+    println!(
+        "    qos ratio {:.3}   noqos ratio {:.1}x",
+        qos.victim.p999 as f64 / iso_p999,
+        noqos.victim.p999 as f64 / iso_p999
+    );
+    if qos.victim_goodput_gbps > 0.0 {
+        report.record("serving_ns_per_good_mb_qos", 1e6 / qos.victim_goodput_gbps);
+    }
+
+    // Heap allocations per sweep point with tracing on, 4 workers —
+    // gates churn regressions in the fleet hot path (per-tenant keys
+    // are interned at build time, so the op path allocates nothing).
+    let serving_allocs = allocs_in(|| {
+        trace::install(1 << 12);
+        std::hint::black_box(run_serving_with_threads(4, SEED));
+        std::hint::black_box(trace::take_captured());
+    });
+    let allocs_per_point = serving_allocs as f64 / points;
+    report.record("serving_sweep_allocs_per_point", allocs_per_point);
+    println!("  allocs_per_point (4t)    {:>12.1}", allocs_per_point);
+
+    benchkit::finish(&report, &args);
+}

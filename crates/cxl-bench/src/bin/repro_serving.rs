@@ -1,0 +1,33 @@
+//! Regenerates the multi-tenant serving sweep (victim p999 under an
+//! antagonist with QoS on/off, plus the QoS-on BER ladder). Accepts
+//! `--trace-out <path>` to export the run's trace (QoS shed/throttle
+//! events included) and `--threads N` to pin the worker-pool size
+//! (defaults to `CXL_SIM_THREADS` or all cores). The sweep output is
+//! identical at every thread count.
+//!
+//! This binary runs the *checked* sweep: after the warm-up point it
+//! asserts that the global counter interner does not grow during any
+//! fleet hot path.
+
+use cxl_bench::serving::{print_serving, run_serving_checked};
+use cxl_bench::traceopt::TraceOut;
+use sim_core::sweep;
+
+fn main() {
+    let (mut args, trace_out) = TraceOut::from_env();
+    let mut threads = sweep::max_threads();
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        args.remove(pos);
+        threads = args
+            .get(pos)
+            .and_then(|s| s.parse().ok())
+            .filter(|&t| t > 0)
+            .expect("--threads N");
+        args.remove(pos);
+    }
+    let seed = args.first().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let rows = run_serving_checked(threads, seed);
+    print_serving(&rows);
+    trace_out.finish();
+}

@@ -19,6 +19,7 @@
 //! | Design ablations | [`ablations`] | `repro_ablations` |
 //! | Duplex H2D/D2H contention | [`duplex`] | `repro_duplex` |
 //! | Reliability vs link BER | [`fault`] | `repro_fault` |
+//! | Multi-tenant serving QoS | [`serving`] | `repro_serving` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -79,5 +80,6 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig8run;
 pub mod golden;
+pub mod serving;
 pub mod tables;
 pub mod traceopt;

@@ -30,6 +30,7 @@ use sim_core::traffic::FlowSpec;
 
 use crate::addr::{self, is_device_addr, DEFAULT_INTERLEAVE_BYTES};
 use crate::device::{CxlDevice, DeviceAccess};
+use crate::occupancy::SharedSliceTables;
 
 /// Static per-device counter keys (`CounterRegistry` wants `&'static
 /// str`); devices past the table share the last slot.
@@ -144,6 +145,27 @@ impl Fabric {
         self.devs[id.0 as usize]
             .h2d_ingress_flow(name)
             .on_device(id)
+    }
+
+    /// A host-side store flow (the primary host socket's store port):
+    /// the endpoint a serving tenant issues through. The target device
+    /// is *not* fixed — each op's line decodes through the HDM windows
+    /// via [`Fabric::route`], so one flow's ops interleave across every
+    /// device its key shard spans.
+    pub fn host_store_flow(&self, name: &'static str) -> FlowSpec {
+        self.hosts[0].store_flow(name)
+    }
+
+    /// One QoS-partitioned shared slice table per device, matching each
+    /// device's DCOH geometry, with the same per-class entry quotas
+    /// everywhere (see [`sim_core::serving::weighted_caps`]). This is
+    /// the fleet's shared-resource model: admission classes are tenants,
+    /// and every tenant contends for the same physical tables.
+    pub fn shared_slice_tables(&self, caps: &[usize]) -> Vec<SharedSliceTables> {
+        self.devs
+            .iter()
+            .map(|d| SharedSliceTables::for_device(d, caps.to_vec()))
+            .collect()
     }
 
     /// Decodes a host-physical address and accounts the route. In

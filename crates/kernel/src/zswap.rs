@@ -27,6 +27,27 @@ use crate::page::{PageData, PAGE_SIZE};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SwapKey(pub u64);
 
+impl SwapKey {
+    /// A tenant-namespaced slot: the tenant index occupies the top 16
+    /// bits, the slot the low 48. Serving fleets use this so tenants
+    /// sharing one pooled zswap never collide on keys, and so the pool's
+    /// residency can be reported per tenant
+    /// ([`Zswap::pool_entries_by_tenant`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` overflows 48 bits.
+    pub fn for_tenant(tenant: u16, slot: u64) -> SwapKey {
+        assert!(slot < 1 << 48, "tenant slot overflows 48 bits: {slot}");
+        SwapKey((u64::from(tenant) << 48) | slot)
+    }
+
+    /// The tenant index of a [`for_tenant`](Self::for_tenant) key.
+    pub fn tenant(self) -> u16 {
+        (self.0 >> 48) as u16
+    }
+}
+
 /// The backing swap device (NVMe-class SSD).
 #[derive(Debug, Clone)]
 pub struct SwapDevice {
@@ -234,6 +255,22 @@ impl<B: OffloadBackend> Zswap<B> {
     /// Number of compressed pages resident in the zpool.
     pub fn pool_entries(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Resident pool entries per tenant, for keys minted with
+    /// [`SwapKey::for_tenant`]. The pool's LRU is *shared*: a tenant
+    /// flooding stores evicts its neighbours' compressed pages, and this
+    /// breakdown is how a serving fleet observes that pressure (keys not
+    /// namespaced land on tenant 0).
+    pub fn pool_entries_by_tenant(&self, tenants: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; tenants];
+        for key in self.entries.keys() {
+            let t = usize::from(key.tenant());
+            if t < tenants {
+                counts[t] += 1;
+            }
+        }
+        counts
     }
 
     /// Zpool bytes resident on each backend device (index = device id;
@@ -589,6 +626,54 @@ mod tests {
         assert!(op.hit_pool);
         assert_eq!(z.stats().pool_hits, 1);
         assert_eq!(z.pool_entries(), 0, "load removes the entry");
+    }
+
+    #[test]
+    fn tenant_keys_namespace_and_report_independently() {
+        assert_eq!(SwapKey::for_tenant(3, 42).tenant(), 3);
+        assert_ne!(SwapKey::for_tenant(0, 42), SwapKey::for_tenant(1, 42));
+        assert_eq!(SwapKey::for_tenant(0, 42), SwapKey(42));
+    }
+
+    #[test]
+    fn antagonist_pressure_evicts_victim_from_shared_pool() {
+        // A small shared pool: the victim parks a working set, then an
+        // antagonist tenant floods stores. The LRU is pool-wide, so the
+        // victim's compressed pages get written back to disk.
+        let mut h = host();
+        let mut z = Zswap::new(
+            ZswapConfig {
+                max_pool_bytes: 64 << 10,
+                ..ZswapConfig::kernel_default(64 << 20)
+            },
+            CpuBackend::new(),
+        );
+        let mut rng = SimRng::seed_from(9);
+        let mut now = Time::ZERO;
+        for slot in 0..48 {
+            let page = PageContent::Text.generate(&mut rng);
+            now = z
+                .store(SwapKey::for_tenant(0, slot), &page, now, &mut h)
+                .completion;
+        }
+        let before = z.pool_entries_by_tenant(2);
+        assert!(before[0] > 0, "victim resident before pressure");
+        for slot in 0..512 {
+            let page = PageContent::Text.generate(&mut rng);
+            now = z
+                .store(SwapKey::for_tenant(1, slot), &page, now, &mut h)
+                .completion;
+        }
+        let after = z.pool_entries_by_tenant(2);
+        assert!(
+            after[0] < before[0],
+            "antagonist stores must steal victim residency ({} -> {})",
+            before[0],
+            after[0]
+        );
+        assert!(after[1] > 0);
+        assert!(z.stats().writebacks > 0, "evictions are disk writebacks");
+        assert_eq!(after[0] + after[1], z.pool_entries());
     }
 
     #[test]

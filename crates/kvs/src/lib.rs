@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod fig8;
+pub mod fleet;
 pub mod server;
 pub mod store;
 pub mod ycsb;
@@ -30,6 +31,9 @@ pub mod ycsb;
 /// Common harness types in one import.
 pub mod prelude {
     pub use crate::fig8::{run_ksm, run_zswap, BackendKind, Fig8Config, TailReport};
+    pub use crate::fleet::{
+        run_fleet, run_fleet_checked, FleetReport, FleetSpec, QosConfig, TenantReport, TenantSpec,
+    };
     pub use crate::server::{merge_jobs, run_core, Job};
     pub use crate::store::{KvStore, StoreStats};
     pub use crate::ycsb::{KeyDistribution, Op, YcsbWorkload};

@@ -27,6 +27,7 @@ pub mod event;
 pub mod fault;
 pub mod port;
 pub mod rng;
+pub mod serving;
 pub mod stats;
 pub mod sweep;
 pub mod time;
@@ -40,6 +41,7 @@ pub mod prelude {
     pub use crate::fault::{FaultPlan, FaultProcess, Injector};
     pub use crate::port::{Admission, Completion, OpOutcome, PortEngine, PortId, PortSpec, TxnId};
     pub use crate::rng::SimRng;
+    pub use crate::serving::{weighted_caps, SloAction, SloController, TokenBucket};
     pub use crate::stats::{bandwidth_gbps, Histogram, Samples, Summary};
     pub use crate::time::{ClockDomain, Cycles, Duration, Time, DEVICE_CLOCK, HOST_CLOCK};
     pub use crate::topology::{Decoded, DecoderSet, DeviceId, DeviceKind, Topology, TopologySpec};

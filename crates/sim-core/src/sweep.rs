@@ -111,6 +111,20 @@ pub mod profile {
         AtomicU64::new(0),
     ];
     static POINTS: AtomicU64 = AtomicU64::new(0);
+    /// Wall time of non-`Events` scopes that ran *inside* an `Events`
+    /// scope (outermost of their kind only). This — not the global
+    /// stage totals — is what must be subtracted to get exclusive
+    /// events time: a `Setup` span tagged outside the run closure (a
+    /// shared dataset build, say) is not nested and must not be.
+    static NESTED_IN_EVENTS_NS: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        /// Depth of live `Events` scopes on this worker thread.
+        static EVENTS_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+        /// Depth of live non-`Events` scopes on this worker thread
+        /// (so a `Setup` inside a `Setup` is only counted once).
+        static NESTED_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    }
 
     /// Globally enables or disables stage accounting.
     pub fn set_enabled(on: bool) {
@@ -124,15 +138,38 @@ pub mod profile {
     }
 
     /// Runs `f`, attributing its wall time to `stage` when profiling is
-    /// enabled. Nested scopes each record their own full span.
+    /// enabled. Nested scopes each record their own full span; a
+    /// non-`Events` scope that runs inside an `Events` scope is
+    /// additionally tallied into the nested-in-events total the render
+    /// subtracts to derive exclusive events time.
     #[inline]
     pub fn scope<T>(stage: Stage, f: impl FnOnce() -> T) -> T {
         if !enabled() {
             return f();
         }
+        let in_events = EVENTS_DEPTH.with(|d| d.get() > 0);
+        let outermost_nested = if stage == Stage::Events {
+            EVENTS_DEPTH.with(|d| d.set(d.get() + 1));
+            false
+        } else {
+            NESTED_DEPTH.with(|d| {
+                let depth = d.get();
+                d.set(depth + 1);
+                depth == 0
+            })
+        };
         let begin = Instant::now();
         let out = f();
-        TOTALS_NS[stage as usize].fetch_add(begin.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let elapsed = begin.elapsed().as_nanos() as u64;
+        TOTALS_NS[stage as usize].fetch_add(elapsed, Ordering::Relaxed);
+        if stage == Stage::Events {
+            EVENTS_DEPTH.with(|d| d.set(d.get() - 1));
+        } else {
+            NESTED_DEPTH.with(|d| d.set(d.get() - 1));
+            if outermost_nested && in_events {
+                NESTED_IN_EVENTS_NS.fetch_add(elapsed, Ordering::Relaxed);
+            }
+        }
         out
     }
 
@@ -148,6 +185,9 @@ pub mod profile {
     pub struct ProfileReport {
         /// Total ns per stage, indexed like [`Stage::ALL`].
         pub ns: [u64; 4],
+        /// Of the non-`Events` totals, the ns spent nested inside
+        /// `Events` scopes (outermost of their kind only).
+        pub nested_ns: u64,
         /// Sweep points completed while profiling was enabled.
         pub points: u64,
     }
@@ -161,14 +201,18 @@ pub mod profile {
         }
         ProfileReport {
             ns,
+            nested_ns: NESTED_IN_EVENTS_NS.swap(0, Ordering::Relaxed),
             points: POINTS.swap(0, Ordering::Relaxed),
         }
     }
 
     impl ProfileReport {
         /// Renders the per-stage table: total ns, ns/point, plus the
-        /// events figure with nested setup/counter-merge subtracted out
-        /// (those stages run *inside* point closures).
+        /// events figure with the *nested* setup/counter-merge time
+        /// subtracted out. Only spans that actually ran inside the run
+        /// closure count as nested — a `Setup` span tagged outside it
+        /// (a shared dataset build, say) leaves exclusive events time
+        /// untouched.
         pub fn render(&self) -> String {
             use core::fmt::Write as _;
             let points = self.points.max(1);
@@ -183,8 +227,7 @@ pub mod profile {
                     total / points
                 );
             }
-            let nested = self.ns[Stage::Setup as usize] + self.ns[Stage::CounterMerge as usize];
-            let events = self.ns[Stage::Events as usize].saturating_sub(nested);
+            let events = self.ns[Stage::Events as usize].saturating_sub(self.nested_ns);
             let _ = writeln!(
                 out,
                 "  {:<14} {:>14} ns  {:>12} ns/point",
@@ -394,5 +437,52 @@ mod tests {
         assert!(!trace::is_active());
         let _ = run_with_threads(4, 8, |i| i);
         assert!(!trace::is_active());
+    }
+
+    #[test]
+    fn profile_render_subtracts_only_nested_spans() {
+        use profile::{scope, Stage};
+        use std::time::Duration as WallDuration;
+
+        let sleep = |ms: u64| std::thread::sleep(WallDuration::from_millis(ms));
+        profile::set_enabled(true);
+        let _ = profile::take(); // drain anything earlier tests recorded
+
+        // A Setup span *outside* any Events scope: a shared dataset
+        // build. It must not be subtracted from exclusive events time.
+        scope(Stage::Setup, || sleep(40));
+        // The run closure, with nested Setup (itself nesting another
+        // Setup, which must count only once) and nested CounterMerge.
+        scope(Stage::Events, || {
+            sleep(8);
+            scope(Stage::Setup, || {
+                sleep(16);
+                scope(Stage::Setup, || sleep(8));
+            });
+            scope(Stage::CounterMerge, || sleep(8));
+        });
+
+        let report = profile::take();
+        profile::set_enabled(false);
+
+        // Nested = the 24 ms outer Setup + 8 ms CounterMerge inside the
+        // Events scope; the 40 ms outside Setup and the doubly-nested
+        // 8 ms are excluded. Bounds are loose against oversleep and
+        // other tests' (microsecond-scale) concurrent scopes.
+        let nested_ms = report.nested_ns / 1_000_000;
+        assert!(
+            (28..=60).contains(&nested_ms),
+            "nested-in-events was {nested_ms} ms, expected ~32 ms"
+        );
+        // Exclusive events ~8 ms. The old render subtracted the *global*
+        // Setup+CounterMerge totals (72 + 8 ms) from the 40 ms events
+        // total, double-counting the outside span and saturating to 0.
+        let excl_ms =
+            report.ns[Stage::Events as usize].saturating_sub(report.nested_ns) / 1_000_000;
+        assert!(
+            (3..=30).contains(&excl_ms),
+            "exclusive events was {excl_ms} ms, expected ~8 ms"
+        );
+        assert!(report.render().contains("events (excl.)"));
     }
 }

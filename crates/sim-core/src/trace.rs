@@ -509,6 +509,16 @@ impl CounterId {
     }
 }
 
+/// Number of counter names interned so far, process-wide.
+///
+/// Harnesses that must not intern in their hot path (dynamic per-tenant
+/// or per-device keys belong at build time) snapshot this before a sweep
+/// point and assert it is unchanged after — growth mid-point means a key
+/// slipped into the op path.
+pub fn interned_counters() -> usize {
+    interner().read().unwrap().names.len()
+}
+
 /// A lazily-resolved [`CounterId`] cache for a fixed counter name,
 /// usable in a `static`:
 ///

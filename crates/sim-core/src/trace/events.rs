@@ -489,6 +489,23 @@ pub enum TraceEvent {
         /// Interleave way the address fell on.
         way: u8,
     },
+    /// A QoS admission layer shed a tenant op: its token-bucket queueing
+    /// delay exceeded the shed bound, so the op was rejected without
+    /// touching the shared slice tables (serving fleets only).
+    QosShed {
+        /// Tenant index within the fleet.
+        tenant: u32,
+        /// Line address the shed op targeted.
+        line: u64,
+    },
+    /// The SLO controller retuned a tenant's admission token bucket
+    /// (serving fleets only).
+    QosThrottle {
+        /// Tenant index within the fleet.
+        tenant: u32,
+        /// New sustained per-op interval, in picoseconds.
+        interval_ps: u64,
+    },
     /// A timing scope opened.
     SpanBegin {
         /// Scope name.
@@ -693,6 +710,21 @@ pub(crate) fn write_json_fields(out: &mut String, event: &TraceEvent) {
                 ",\"kind\":\"fabric-route\",\"device\":{device},\"hpa\":{hpa},\"dpa\":{dpa},\"way\":{way}"
             )
         }
+        TraceEvent::QosShed { tenant, line } => {
+            write!(
+                out,
+                ",\"kind\":\"qos-shed\",\"tenant\":{tenant},\"line\":{line}"
+            )
+        }
+        TraceEvent::QosThrottle {
+            tenant,
+            interval_ps,
+        } => {
+            write!(
+                out,
+                ",\"kind\":\"qos-throttle\",\"tenant\":{tenant},\"interval_ps\":{interval_ps}"
+            )
+        }
         TraceEvent::SpanBegin { name } => {
             write!(out, ",\"kind\":\"span-begin\",\"name\":\"{name}\"")
         }
@@ -818,6 +850,19 @@ pub(crate) fn write_human_event(out: &mut String, event: &TraceEvent) {
             writeln!(
                 out,
                 "fabric route dev{device} way={way} hpa={hpa:#x} dpa={dpa:#x}"
+            )
+        }
+        TraceEvent::QosShed { tenant, line } => {
+            writeln!(out, "qos shed tenant{tenant} line={line:#x}")
+        }
+        TraceEvent::QosThrottle {
+            tenant,
+            interval_ps,
+        } => {
+            writeln!(
+                out,
+                "qos throttle tenant{tenant} (interval {:.3} ns)",
+                interval_ps as f64 / 1e3
             )
         }
         TraceEvent::SpanBegin { name } => writeln!(out, "span begin {name}"),
@@ -1061,6 +1106,14 @@ pub(crate) fn parse_event(r: &FieldReader<'_>) -> Result<TraceEvent, String> {
             hpa: r.num("hpa")?,
             dpa: r.num("dpa")?,
             way: r.num("way")? as u8,
+        },
+        "qos-shed" => TraceEvent::QosShed {
+            tenant: r.num("tenant")? as u32,
+            line: r.num("line")?,
+        },
+        "qos-throttle" => TraceEvent::QosThrottle {
+            tenant: r.num("tenant")? as u32,
+            interval_ps: r.num("interval_ps")?,
         },
         "span-begin" => TraceEvent::SpanBegin {
             name: intern_name(r.string("name")?),

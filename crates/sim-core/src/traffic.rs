@@ -65,6 +65,19 @@ static OPS_RETRIED: CounterSlot = CounterSlot::new("traffic.ops.retried");
 static OPS_FAILED: CounterSlot = CounterSlot::new("traffic.ops.failed");
 static BYTES: CounterSlot = CounterSlot::new("traffic.bytes");
 
+/// Resolves every fixed traffic counter slot up front. Slots normally
+/// intern lazily on first bump — fine for one-shot harnesses, but a
+/// serving fleet asserts (in debug builds) that the counter interner
+/// does not grow during a sweep point, so its build phase calls this to
+/// pull even the rare-path slots (`traffic.ops.retried`/`.failed`, which
+/// first fire at the first fault) out of the measured run.
+pub fn preintern_counters() {
+    let _ = OPS.id();
+    let _ = OPS_RETRIED.id();
+    let _ = OPS_FAILED.id();
+    let _ = BYTES.id();
+}
+
 /// How a flow's requests arrive.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Arrival {
@@ -222,11 +235,13 @@ impl FlowSpec {
     }
 }
 
-/// Zipfian sampler state (Gray et al.'s rejection-free approximation, the
+/// Zipfian sampler (Gray et al.'s rejection-free approximation, the
 /// same scheme YCSB uses). Construction is `O(n)` — the harmonic partial
-/// sum is computed once per flow.
+/// sum is computed once per flow. Public so serving layers can shard
+/// tenant key popularity with the exact distribution flows use, and so
+/// property tests can pin the approximation against the analytic law.
 #[derive(Debug, Clone)]
-struct ZipfState {
+pub struct Zipfian {
     n: u64,
     theta: f64,
     alpha: f64,
@@ -234,12 +249,17 @@ struct ZipfState {
     eta: f64,
 }
 
-impl ZipfState {
+impl Zipfian {
     fn zeta(n: u64, theta: f64) -> f64 {
         (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
     }
 
-    fn new(n: u64, theta: f64) -> Self {
+    /// A sampler over ranks `[0, n)` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "zipf needs a non-empty range");
         assert!(
             theta > 0.0 && theta < 1.0,
@@ -249,7 +269,7 @@ impl ZipfState {
         let zeta2 = Self::zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        ZipfState {
+        Zipfian {
             n,
             theta,
             alpha,
@@ -259,7 +279,7 @@ impl ZipfState {
     }
 
     /// A rank in `[0, n)`, rank 0 hottest.
-    fn sample(&self, rng: &mut SimRng) -> u64 {
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
         let u = rng.gen_f64();
         let uz = u * self.zetan;
         if uz < 1.0 {
@@ -270,6 +290,20 @@ impl ZipfState {
         }
         let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         rank.min(self.n - 1)
+    }
+
+    /// The analytic probability mass of the hottest `hot` ranks under
+    /// the true Zipf law: `zeta(hot) / zeta(n)`. The sampler's measured
+    /// hit rate on those ranks converges to this within the error of
+    /// Gray's approximation (a few percent) — the property tests pin
+    /// that tolerance.
+    pub fn hot_set_mass(&self, hot: u64) -> f64 {
+        Self::zeta(hot.min(self.n), self.theta) / self.zetan
+    }
+
+    /// The rank-space size this sampler draws from.
+    pub fn n(&self) -> u64 {
+        self.n
     }
 }
 
@@ -294,7 +328,7 @@ struct FlowRt {
     spec: FlowSpec,
     port: PortId,
     rng: SimRng,
-    zipf: Option<ZipfState>,
+    zipf: Option<Zipfian>,
     /// Ops generated so far; doubles as the sequential-walk cursor.
     generated: u64,
 }
@@ -482,7 +516,7 @@ impl TrafficScheduler {
         let idx = self.flows.len();
         let flow = idx as u32;
         let zipf = match spec.pattern {
-            AddressPattern::Zipfian { theta } => Some(ZipfState::new(spec.lines, theta)),
+            AddressPattern::Zipfian { theta } => Some(Zipfian::new(spec.lines, theta)),
             _ => None,
         };
         let mut rt = FlowRt {
@@ -875,7 +909,7 @@ mod tests {
 
     #[test]
     fn zipf_rank_zero_is_hottest() {
-        let z = ZipfState::new(64, 0.99);
+        let z = Zipfian::new(64, 0.99);
         let mut rng = SimRng::seed_from(11);
         let mut counts = [0u64; 64];
         for _ in 0..20_000 {

@@ -1,0 +1,85 @@
+//! Property tests for the Zipfian sampler (Gray's rejection-free
+//! approximation) and the determinism of per-tenant draw streams.
+
+use proptest::prelude::*;
+use sim_core::rng::SimRng;
+use sim_core::sweep;
+use sim_core::traffic::Zipfian;
+
+/// Draws `draws` ranks and returns the fraction that landed in the
+/// hottest `hot` ranks.
+fn measured_hot_rate(z: &Zipfian, seed: u64, draws: u64, hot: u64) -> f64 {
+    let mut rng = SimRng::seed_from(seed);
+    let mut hits = 0u64;
+    for _ in 0..draws {
+        if z.sample(&mut rng) < hot {
+            hits += 1;
+        }
+    }
+    hits as f64 / draws as f64
+}
+
+proptest! {
+    /// The sampler's measured hot-set hit rate matches the analytic
+    /// Zipf mass `zeta(hot)/zeta(n)` within the error of Gray's
+    /// approximation plus sampling noise, across the skews the serving
+    /// fleet uses (theta 0.5 mild, 0.9 strong, 0.99 YCSB-default).
+    #[test]
+    fn hot_set_hit_rate_matches_grays_approximation(
+        seed in any::<u64>(),
+        n in 512u64..16_384,
+        hot_shift in 3u32..7, // hot set = n >> shift, 1/8 .. 1/128 of keys
+    ) {
+        for theta in [0.5, 0.9, 0.99] {
+            let z = Zipfian::new(n, theta);
+            let hot = (n >> hot_shift).max(1);
+            let expect = z.hot_set_mass(hot);
+            let got = measured_hot_rate(&z, seed, 20_000, hot);
+            // Gray's inverse-CDF approximation is good to a few percent;
+            // 20k draws add ~1/sqrt(20k) ≈ 0.7% noise per tail.
+            let tol = 0.04 + 0.05 * expect;
+            prop_assert!(
+                (got - expect).abs() <= tol,
+                "theta={} n={} hot={} expect={:.4} got={:.4} tol={:.4}",
+                theta, n, hot, expect, got, tol
+            );
+        }
+    }
+
+    /// Per-tenant draw streams are keyed by `sweep::point_seed`, so the
+    /// stream a tenant sees is a pure function of (sweep seed, tenant
+    /// index) — identical whether the points run serially or on any
+    /// worker-pool size.
+    #[test]
+    fn tenant_draw_streams_are_thread_invariant(
+        seed in any::<u64>(),
+        tenants in 1usize..6,
+    ) {
+        let z = Zipfian::new(4096, 0.9);
+        let stream = |tenant: usize| -> Vec<u64> {
+            let mut rng = SimRng::seed_from(sweep::point_seed(seed, tenant));
+            (0..256).map(|_| z.sample(&mut rng)).collect()
+        };
+        let serial: Vec<Vec<u64>> = (0..tenants).map(stream).collect();
+        for threads in [2, 4] {
+            let parallel = sweep::run_with_threads(threads, tenants, stream);
+            prop_assert_eq!(&parallel, &serial, "threads={}", threads);
+        }
+    }
+}
+
+/// Rank 0 is the hottest, and mass estimates are monotone in the size
+/// of the hot set (cheap sanity pin outside the proptest loop).
+#[test]
+fn hot_mass_is_monotone_and_rank0_heaviest() {
+    let z = Zipfian::new(1000, 0.99);
+    assert!(z.hot_set_mass(1) > 1.0 / 1000.0 * 10.0);
+    let mut prev = 0.0;
+    for hot in [1, 2, 4, 16, 64, 256, 1000] {
+        let m = z.hot_set_mass(hot);
+        assert!(m > prev);
+        prev = m;
+    }
+    assert!((z.hot_set_mass(1000) - 1.0).abs() < 1e-9);
+    assert_eq!(z.n(), 1000);
+}
