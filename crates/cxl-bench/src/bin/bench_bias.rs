@@ -1,0 +1,100 @@
+//! Benchmark harness for the adaptive-bias ablation. Emits a
+//! machine-readable [`BenchReport`] (`BENCH_bias.json` is the committed
+//! baseline) and, with `--check`, fails when a tracked scenario
+//! regresses beyond tolerance.
+//!
+//! Usage:
+//!   bench_bias [--out PATH] [--check BASELINE] [--tolerance FRAC]
+//!
+//! Like `bench_fabric`, every tracked figure is *simulated* and
+//! deterministic on any machine, so the default tolerance stays tight
+//! (5%): the adaptive policy's mean ns/op at each swept H2D fraction
+//! and on the duplex split, and `ns_per_good_mb` (inverse goodput) on
+//! the degraded BER rungs — a controller regression trips the check
+//! even though the static baselines are untouched. `*_speedup_*`
+//! entries are the ablation's headline ratios (adaptive over the worse
+//! static choice at the sweep endpoints, degraded-bias goodput over
+//! static-device at 1e-5), recorded for the speedup gates and never
+//! regression-checked. Wall clock is printed for visibility only.
+
+use criterion::report::BenchReport;
+use cxl_bench::benchkit::{self, time_min};
+use cxl_bench::bias::run_bias_with_threads;
+use cxl_bench::fault::ber_label;
+
+const REQUESTS: u64 = 2000;
+const SEED: u64 = 42;
+
+fn main() {
+    let args = benchkit::BenchArgs::from_env("bench_bias", 0.05);
+
+    let mut report = BenchReport::new();
+    report.set_meta(benchkit::host_cores(), 1);
+
+    println!("== adaptive-bias ablation ({REQUESTS} requests/stream) ==");
+    let wall = time_min(2, || {
+        std::hint::black_box(run_bias_with_threads(1, REQUESTS, SEED));
+    });
+    println!("  wall (serial, untracked) {:>12.0} ns", wall);
+
+    let ablation = run_bias_with_threads(1, REQUESTS, SEED);
+    for r in &ablation.crossover {
+        let name = format!("bias_adaptive_ns_h2d{:02}", (r.h2d_fraction * 100.0) as u64);
+        report.record(&name, r.adaptive.mean_ns);
+        println!(
+            "  {:<28} {:>9.1} ns/op   (oracle {:>7.1})",
+            name,
+            r.adaptive.mean_ns,
+            r.oracle_ns()
+        );
+    }
+    let duplex = &ablation.duplex[2].out;
+    report.record("bias_adaptive_ns_duplex", duplex.mean_ns);
+    println!(
+        "  {:<28} {:>9.1} ns/op",
+        "bias_adaptive_ns_duplex", duplex.mean_ns
+    );
+    for r in &ablation.ladder {
+        if r.ber > 0.0 && r.adaptive.goodput_gbps > 0.0 {
+            let name = format!("bias_ns_per_good_mb_ber{}", ber_label(r.ber));
+            report.record(&name, 1e6 / r.adaptive.goodput_gbps);
+            println!(
+                "  {:<28} {:>9.3} GB/s   (degraded {})",
+                name, r.adaptive.goodput_gbps, r.adaptive.degraded
+            );
+        }
+    }
+
+    // Headline ablation ratios, gated via `speedup_gates` in
+    // BENCH_GATES.json: feedback control must beat committing to the
+    // wrong static bias on both sides of the crossover, and fault-aware
+    // degradation must out-earn static device bias on a noisy link.
+    let first = ablation.crossover.first().unwrap();
+    let last = ablation.crossover.last().unwrap();
+    report.record(
+        "bias_adaptive_speedup_d2d_heavy",
+        first.worst_static_ns() / first.adaptive.mean_ns,
+    );
+    report.record(
+        "bias_adaptive_speedup_h2d_heavy",
+        last.worst_static_ns() / last.adaptive.mean_ns,
+    );
+    let rung = ablation
+        .ladder
+        .iter()
+        .find(|r| r.ber == 1e-5)
+        .expect("ladder sweeps 1e-5");
+    report.record(
+        "bias_degraded_goodput_speedup_1e-5",
+        rung.adaptive.goodput_gbps / rung.static_device.goodput_gbps,
+    );
+    for name in [
+        "bias_adaptive_speedup_d2d_heavy",
+        "bias_adaptive_speedup_h2d_heavy",
+        "bias_degraded_goodput_speedup_1e-5",
+    ] {
+        println!("  {:<34} {:>7.2} x", name, report.get(name).unwrap());
+    }
+
+    benchkit::finish(&report, &args);
+}

@@ -1,0 +1,20 @@
+//! Regenerates the adaptive-bias ablation: the crossover sweep, the
+//! duplex split, and the BER degradation ladder, each under static-host,
+//! static-device, and adaptive policies. Accepts `--trace-out <path>` to
+//! export the run's trace (including `bias-flip` events).
+
+use cxl_bench::bias::{print_bias, run_bias};
+use cxl_bench::traceopt::TraceOut;
+
+fn main() {
+    let (args, trace_out) = TraceOut::from_env();
+    let requests = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(2000);
+
+    let report = run_bias(requests, 42);
+    print_bias(&report);
+    trace_out.finish();
+}

@@ -20,6 +20,7 @@
 //! | Duplex H2D/D2H contention | [`duplex`] | `repro_duplex` |
 //! | Reliability vs link BER | [`fault`] | `repro_fault` |
 //! | Multi-tenant serving QoS | [`serving`] | `repro_serving` |
+//! | Adaptive bias ablation | [`bias`] | `repro_bias` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -71,6 +72,7 @@ macro_rules! counting_allocator {
 
 pub mod ablations;
 pub mod benchkit;
+pub mod bias;
 pub mod duplex;
 pub mod fabric;
 pub mod fault;

@@ -119,6 +119,27 @@ impl BiasTable {
         }
     }
 
+    /// Explicitly returns the region containing `addr` to host bias — the
+    /// policy-daemon path, as opposed to the implicit [`on_h2d_access`]
+    /// flip hardware performs. The caller flushes dirty device-cache
+    /// copies first; the `cxl-type2` device wrapper enforces that.
+    ///
+    /// Counts toward the same `flips_to_host` total as H2D flips (both
+    /// are device→host transitions). Returns `true` if a region was
+    /// found and was in device bias.
+    ///
+    /// [`on_h2d_access`]: BiasTable::on_h2d_access
+    pub fn switch_to_host_bias(&mut self, addr: u64) -> bool {
+        if let Some(r) = self.region_mut(addr) {
+            if r.mode != BiasMode::HostBias {
+                r.mode = BiasMode::HostBias;
+                self.flips_to_host += 1;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Records an H2D access: if it falls in a device-bias region, the
     /// region exits device bias (§IV-B). Returns the mode in force *after*
     /// the access.
@@ -192,6 +213,19 @@ mod tests {
         assert_eq!(t.mode_of(10), BiasMode::DeviceBias);
         assert_eq!(t.transition_counts().1, 1);
         assert!(!t.switch_to_device_bias(99_999), "unknown region");
+    }
+
+    #[test]
+    fn explicit_switch_to_host_bias() {
+        let mut t = BiasTable::new();
+        t.define_region(0..4096, BiasMode::DeviceBias);
+        assert!(t.switch_to_host_bias(64));
+        assert_eq!(t.mode_of(64), BiasMode::HostBias);
+        assert_eq!(t.transition_counts().0, 1);
+        // Already host-biased: no-op, no double count.
+        assert!(!t.switch_to_host_bias(64));
+        assert_eq!(t.transition_counts().0, 1);
+        assert!(!t.switch_to_host_bias(99_999), "unknown region");
     }
 
     #[test]

@@ -393,6 +393,44 @@ impl CxlDevice {
         t
     }
 
+    /// Returns a device-memory region to host bias: flushes the device's
+    /// own dirty DMC copies of the range back to device memory (the
+    /// symmetric software obligation of leaving device bias — the host
+    /// must see current data once hardware coherence resumes) and
+    /// switches the bias table. Returns the completion time.
+    pub fn enter_host_bias(&mut self, first: LineAddr, lines: u64, now: Time) -> Time {
+        assert!(is_device_addr(first), "host bias applies to device memory");
+        let mut t = now;
+        for i in 0..lines {
+            let addr = first.offset(i);
+            if let Some(state) = self.dcoh.dmc_probe(addr) {
+                t += self.timing.dcoh_lookup;
+                self.dcoh.dmc_invalidate(addr);
+                if state.is_dirty() {
+                    self.counters.bump(&DMC_WRITEBACKS);
+                    trace::emit(
+                        t,
+                        TraceEvent::CacheWriteback {
+                            cache: CacheId::Dmc,
+                            addr: addr.index(),
+                        },
+                    );
+                    t = self.dev_mem_write(addr, t);
+                }
+            }
+        }
+        let start = device_byte_offset(first);
+        self.bias.switch_to_host_bias(start);
+        trace::emit(
+            t,
+            TraceEvent::BiasSwitch {
+                region_offset: start,
+                to: BiasKind::HostBias,
+            },
+        );
+        t
+    }
+
     fn penalty(&self) -> Duration {
         // Charged on the host side to CXL.cache-originated requests.
         Duration::ZERO
@@ -1736,6 +1774,26 @@ mod tests {
         // Insight 4: 82–87% lower latency.
         let reduction = 1.0 - fast_lat.as_nanos_f64() / slow_lat.as_nanos_f64();
         assert!(reduction > 0.5, "NC-P reduction {reduction}");
+    }
+
+    #[test]
+    fn enter_host_bias_writes_back_dirty_dmc() {
+        let (mut host, mut dev) = setup();
+        let a = device_line(8);
+        dev.enter_device_bias(a, 1, Time::ZERO, &mut host);
+        assert_eq!(
+            dev.bias.mode_of(device_byte_offset(a)),
+            BiasMode::DeviceBias
+        );
+        dev.stage_dmc(a, MesiState::Modified);
+
+        let start = Time::from_nanos(100);
+        let t = dev.enter_host_bias(a, 1, start);
+        assert!(t > start, "dirty DMC flush must cost time");
+        assert_eq!(dev.dmc_state(a), None, "DMC copy dropped");
+        assert_eq!(dev.bias.mode_of(device_byte_offset(a)), BiasMode::HostBias);
+        // Explicit daemon flips count as device→host transitions.
+        assert_eq!(dev.bias.transition_counts().0, 1);
     }
 
     #[test]

@@ -377,9 +377,17 @@ impl Fabric {
         self.devs[id.0 as usize].d2d(req, local, now, &mut self.hosts[0])
     }
 
+    /// The host socket whose home agent owns `id`'s HDM range (the
+    /// topology's `owner_host`); bias transitions flush *its* caches.
+    pub fn owning_host(&self, id: DeviceId) -> usize {
+        self.topo.device(id).owner_host as usize
+    }
+
     /// Flips `lines` starting at host-physical `addr` into device bias on
     /// their owning cards (decoding line by line, so interleaved ranges
-    /// flip on every card they touch). Returns the last completion.
+    /// flip on every card they touch). The CO_WR flush is charged to each
+    /// card's *owning* host — in a multi-socket topology the UPI path to
+    /// host 0 would be the wrong one. Returns the last completion.
     pub fn enter_device_bias(&mut self, addr: LineAddr, lines: u64, now: Time) -> Time {
         let mut t = now;
         let mut i = 0;
@@ -388,7 +396,26 @@ impl Fabric {
             let (id, local) = self
                 .route(hpa, t)
                 .unwrap_or_else(|| panic!("{hpa} is not HDM-mapped device memory"));
-            t = self.devs[id.0 as usize].enter_device_bias(local, 1, t, &mut self.hosts[0]);
+            let owner = self.owning_host(id);
+            t = self.devs[id.0 as usize].enter_device_bias(local, 1, t, &mut self.hosts[owner]);
+            i += 1;
+        }
+        t
+    }
+
+    /// Returns `lines` starting at host-physical `addr` to host bias on
+    /// their owning cards: dirty device-cache (DMC) copies flush back to
+    /// device memory first — the symmetric software obligation of leaving
+    /// device bias. Returns the last completion.
+    pub fn enter_host_bias(&mut self, addr: LineAddr, lines: u64, now: Time) -> Time {
+        let mut t = now;
+        let mut i = 0;
+        while i < lines {
+            let hpa = LineAddr::new(addr.index() + i);
+            let (id, local) = self
+                .route(hpa, t)
+                .unwrap_or_else(|| panic!("{hpa} is not HDM-mapped device memory"));
+            t = self.devs[id.0 as usize].enter_host_bias(local, 1, t);
             i += 1;
         }
         t
@@ -480,8 +507,9 @@ impl Fabric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::addr::{device_line, host_line, DEVICE_MEM_BASE};
+    use crate::addr::{device_line, host_line, DEVICE_MEM_BASE, HDM_WINDOW_LINES};
     use crate::platform::Platform;
+    use sim_core::topology::{FabricNode, HostSpec};
 
     #[test]
     fn one_by_one_fabric_matches_platform_timing() {
@@ -506,6 +534,45 @@ mod tests {
         ] {
             assert_eq!(f, q, "degenerate fabric must reproduce Platform exactly");
         }
+    }
+
+    #[test]
+    fn bias_flush_targets_the_owning_host() {
+        // Two sockets, two cards, dev1 homed on host1: the CO_WR flush
+        // of a bias transition on dev1 must empty host1's cache, not
+        // host0's (the old code hard-coded hosts[0]).
+        let mut spec = addr::hdm_spec(2, 1, DEFAULT_INTERLEAVE_BYTES);
+        spec.hosts.push(HostSpec {
+            name: "host1".into(),
+        });
+        if let FabricNode::Switch { children, .. } = &mut spec.root {
+            if let FabricNode::Device(d) = &mut children[1] {
+                d.owner_host = 1;
+            }
+        }
+        let mut fab = Fabric::from_spec(&spec).unwrap();
+        assert_eq!(fab.owning_host(DeviceId(0)), 0);
+        assert_eq!(fab.owning_host(DeviceId(1)), 1);
+
+        // Dirty the same device-local line in both sockets' caches.
+        let local = device_line(0);
+        fab.hosts[0].store(local, Time::ZERO);
+        fab.hosts[1].store(local, Time::ZERO);
+
+        // First line of dev1's decoder window.
+        let hpa = LineAddr::new(DEVICE_MEM_BASE + HDM_WINDOW_LINES);
+        fab.enter_device_bias(hpa, 1, Time::from_nanos(1_000));
+
+        // The owner's copy was flushed by the transition; host0's dirty
+        // copy must survive untouched.
+        assert!(
+            !fab.hosts[1].caches.flush_line(local),
+            "host1's copy should already have been flushed"
+        );
+        assert!(
+            fab.hosts[0].caches.flush_line(local),
+            "host0's dirty copy must not be collateral of dev1's flip"
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod biasmgr;
 pub mod dcoh;
 pub mod device;
 pub mod fabric;
@@ -52,6 +53,7 @@ pub mod transfer;
 /// Common device types in one import.
 pub mod prelude {
     pub use crate::addr::{device_line, host_line, is_device_addr, DEVICE_MEM_BASE};
+    pub use crate::biasmgr::{BiasDaemon, BiasTransition, DaemonConfig};
     pub use crate::device::{CxlDevice, DeviceAccess};
     pub use crate::fabric::{Fabric, FabricBurst};
     pub use crate::lsu::{BurstTarget, Lsu};

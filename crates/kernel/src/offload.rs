@@ -114,6 +114,17 @@ pub trait OffloadBackend {
     /// card holding the compressed bytes. Single-device backends ignore it.
     fn select_device(&mut self, _hint: u64) {}
 
+    /// Selects the device a *new* store lands on. The default is plain
+    /// [`select_device`](Self::select_device) round-robin; a
+    /// temperature-aware pool overrides this to steer new pages toward
+    /// the coldest device (the adaptive daemon's region temperatures —
+    /// hot devices are busy serving accelerator traffic and should not
+    /// also absorb swap-out). Swap-in stays on `select_device`: it must
+    /// pin to the card that holds the bytes, temperature or not.
+    fn place_store(&mut self, hint: u64) {
+        self.select_device(hint);
+    }
+
     /// The device selected for the most recent operation.
     fn last_device(&self) -> u16 {
         0
@@ -898,6 +909,10 @@ impl OffloadBackend for Box<dyn OffloadBackend> {
         (**self).select_device(hint)
     }
 
+    fn place_store(&mut self, hint: u64) {
+        (**self).place_store(hint)
+    }
+
     fn last_device(&self) -> u16 {
         (**self).last_device()
     }
@@ -914,6 +929,10 @@ impl OffloadBackend for Box<dyn OffloadBackend> {
 pub struct PooledCxlBackend {
     backends: Vec<CxlBackend>,
     current: usize,
+    /// Per-device hotness published by the adaptive bias daemon (mean
+    /// region temperature per card). Empty until the first publish:
+    /// store placement falls back to round-robin.
+    temperatures: Vec<f64>,
 }
 
 impl PooledCxlBackend {
@@ -927,6 +946,7 @@ impl PooledCxlBackend {
         PooledCxlBackend {
             backends: (0..devices).map(|_| CxlBackend::agilex7()).collect(),
             current: 0,
+            temperatures: Vec::new(),
         }
     }
 
@@ -940,12 +960,32 @@ impl PooledCxlBackend {
         PooledCxlBackend {
             backends,
             current: 0,
+            temperatures: Vec::new(),
         }
     }
 
     /// The per-card backends, in device order.
     pub fn devices(&self) -> &[CxlBackend] {
         &self.backends
+    }
+
+    /// Publishes per-device hotness from the adaptive bias daemon
+    /// (e.g. the mean of each card's region temperatures). Subsequent
+    /// store placement steers to the coldest card; pass an empty slice
+    /// to return to round-robin.
+    pub fn set_device_temperatures(&mut self, temps: &[f64]) {
+        self.temperatures = temps.to_vec();
+    }
+
+    /// The coldest device by published temperature, ties to the lowest
+    /// id; `None` when no temperatures are published.
+    fn coldest_device(&self) -> Option<usize> {
+        self.temperatures
+            .iter()
+            .take(self.backends.len())
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
     }
 }
 
@@ -1000,6 +1040,13 @@ impl OffloadBackend for PooledCxlBackend {
 
     fn select_device(&mut self, hint: u64) {
         self.current = (hint as usize) % self.backends.len();
+    }
+
+    fn place_store(&mut self, hint: u64) {
+        match self.coldest_device() {
+            Some(d) => self.current = d,
+            None => self.select_device(hint),
+        }
     }
 
     fn last_device(&self) -> u16 {

@@ -297,6 +297,13 @@ impl<B: OffloadBackend> Zswap<B> {
         &self.backend
     }
 
+    /// Mutable access to the backend — the adaptive bias daemon uses
+    /// this to publish fresh region temperatures between batches so
+    /// store placement tracks device hotness.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
     fn footprint(len: usize) -> u64 {
         // zsmalloc-style size-class rounding to 64 B granules.
         (len as u64).div_ceil(64) * 64
@@ -397,10 +404,11 @@ impl<B: OffloadBackend> Zswap<B> {
                 };
             }
         }
-        // Swap-out interleaves across the backend pool: round-robin by
-        // store sequence, so consecutive pages land on different cards and
-        // their compressions overlap in steady state.
-        self.backend.select_device(self.stats.stored);
+        // Swap-out placement is the backend's call: round-robin by store
+        // sequence by default, coldest-device when the adaptive bias
+        // daemon has published region temperatures. Swap-in (below) still
+        // pins to the card holding the entry's bytes.
+        self.backend.place_store(self.stats.stored);
         let device = self.backend.last_device();
         // Degraded mode: a stall fault is the offload descriptor dying
         // (no completion record inside the kernel's wait); after waiting
@@ -674,6 +682,41 @@ mod tests {
         assert!(after[1] > 0);
         assert!(z.stats().writebacks > 0, "evictions are disk writebacks");
         assert_eq!(after[0] + after[1], z.pool_entries());
+    }
+
+    #[test]
+    fn store_placement_follows_published_temperatures() {
+        use crate::offload::PooledCxlBackend;
+        let mut h = host();
+        let mut z = Zswap::new(
+            ZswapConfig::kernel_default(64 << 20),
+            PooledCxlBackend::symmetric(3),
+        );
+        let mut rng = SimRng::seed_from(3);
+        let mut now = Time::ZERO;
+
+        // No temperatures published: round-robin by store sequence.
+        let mut devices = Vec::new();
+        for slot in 0..3 {
+            let page = PageContent::Text.generate(&mut rng);
+            now = z.store(SwapKey(slot), &page, now, &mut h).completion;
+            devices.push(z.backend().last_device());
+        }
+        assert_eq!(devices, vec![0, 1, 2], "default placement interleaves");
+
+        // Daemon publishes hotness: device 1 is coldest, so every new
+        // store steers there.
+        z.backend_mut().set_device_temperatures(&[5.0, 0.5, 2.0]);
+        for slot in 3..6 {
+            let page = PageContent::Text.generate(&mut rng);
+            now = z.store(SwapKey(slot), &page, now, &mut h).completion;
+            assert_eq!(z.backend().last_device(), 1, "stores steer coldest");
+        }
+
+        // Swap-in still pins to the card holding the bytes, temperature
+        // or not: key 0 was stored on device 0.
+        let (_, _) = z.load(SwapKey(0), now, &mut h).unwrap();
+        assert_eq!(z.backend().last_device(), 0, "swap-in pins to owner");
     }
 
     #[test]

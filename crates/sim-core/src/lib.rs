@@ -25,6 +25,7 @@
 
 pub mod event;
 pub mod fault;
+pub mod policy;
 pub mod port;
 pub mod rng;
 pub mod serving;
@@ -39,6 +40,9 @@ pub mod traffic;
 pub mod prelude {
     pub use crate::event::EventQueue;
     pub use crate::fault::{FaultPlan, FaultProcess, Injector};
+    pub use crate::policy::{
+        AccessOrigin, BiasDecision, BiasPolicy, FlipReason, PolicyConfig, TargetBias,
+    };
     pub use crate::port::{Admission, Completion, OpOutcome, PortEngine, PortId, PortSpec, TxnId};
     pub use crate::rng::SimRng;
     pub use crate::serving::{weighted_caps, SloAction, SloController, TokenBucket};

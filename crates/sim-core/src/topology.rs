@@ -75,17 +75,22 @@ pub struct DeviceSpec {
     pub dcoh_slices: usize,
     /// Device-local capacity in 64 B lines.
     pub capacity_lines: u64,
+    /// Index into [`TopologySpec::hosts`] of the socket whose home agent
+    /// owns this device's HDM range — bias transitions flush *that*
+    /// host's caches, not host 0's.
+    pub owner_host: u16,
 }
 
 impl DeviceSpec {
     /// An Agilex-7-shaped Type-2 device: one DCOH slice (the default
-    /// card configuration downstream), 32 GiB.
+    /// card configuration downstream), 32 GiB, owned by host 0.
     pub fn type2(name: impl Into<String>) -> Self {
         DeviceSpec {
             name: name.into(),
             kind: DeviceKind::Type2,
             dcoh_slices: 1,
             capacity_lines: 1 << 29,
+            owner_host: 0,
         }
     }
 
@@ -95,6 +100,12 @@ impl DeviceSpec {
             kind: DeviceKind::Type3,
             ..DeviceSpec::type2(name)
         }
+    }
+
+    /// Attach the device under a different owning host socket.
+    pub fn owned_by(mut self, host: u16) -> Self {
+        self.owner_host = host;
+        self
     }
 }
 
@@ -149,6 +160,15 @@ pub enum TopologyError {
     NoHosts,
     /// The fabric tree contains no devices.
     NoDevices,
+    /// A device names an owning host index outside the host list.
+    BadOwner {
+        /// Device name.
+        device: String,
+        /// The out-of-range owner index.
+        owner: u16,
+        /// How many hosts the spec declares.
+        hosts: usize,
+    },
     /// Two nodes share a name.
     DuplicateName(String),
     /// A decoder targets a name that is not a device in the tree.
@@ -190,6 +210,14 @@ impl fmt::Display for TopologyError {
         match self {
             TopologyError::NoHosts => write!(f, "topology has no hosts"),
             TopologyError::NoDevices => write!(f, "topology has no devices"),
+            TopologyError::BadOwner {
+                device,
+                owner,
+                hosts,
+            } => write!(
+                f,
+                "device {device:?} owned by host {owner} but only {hosts} host(s) declared"
+            ),
             TopologyError::DuplicateName(n) => write!(f, "duplicate node name {n:?}"),
             TopologyError::UnknownTarget(n) => write!(f, "decoder targets unknown device {n:?}"),
             TopologyError::RepeatedTarget(n) => {
@@ -237,6 +265,8 @@ pub struct DeviceInfo {
     pub capacity_lines: u64,
     /// Switch hops between the root port and this device.
     pub hops: u8,
+    /// Index of the owning host socket (validated against the host list).
+    pub owner_host: u16,
 }
 
 /// A validated HDM decoder with name targets resolved to [`DeviceId`]s
@@ -414,6 +444,7 @@ fn collect_devices(
                 dcoh_slices: spec.dcoh_slices,
                 capacity_lines: spec.capacity_lines,
                 hops: depth,
+                owner_host: spec.owner_host,
             });
         }
     }
@@ -502,6 +533,15 @@ impl TopologySpec {
         collect_devices(&self.root, 0, &mut devices, &mut names)?;
         if devices.is_empty() {
             return Err(TopologyError::NoDevices);
+        }
+        for d in &devices {
+            if d.owner_host as usize >= self.hosts.len() {
+                return Err(TopologyError::BadOwner {
+                    device: d.name.clone(),
+                    owner: d.owner_host,
+                    hosts: self.hosts.len(),
+                });
+            }
         }
         let lookup =
             |name: &str| -> Option<&DeviceInfo> { devices.iter().find(|d| d.name == name) };
@@ -680,5 +720,35 @@ mod tests {
         assert!(topo.devices().iter().all(|d| d.hops == 1));
         let solo = TopologySpec::single_device(0, 1 << 10).resolve().unwrap();
         assert_eq!(solo.device(DeviceId(0)).hops, 0);
+    }
+
+    #[test]
+    fn owner_host_resolves_and_validates() {
+        let mut spec = TopologySpec::symmetric(2, 1, 0, 1 << 10, 256);
+        spec.hosts.push(HostSpec {
+            name: "host1".into(),
+        });
+        if let FabricNode::Switch { children, .. } = &mut spec.root {
+            if let FabricNode::Device(d) = &mut children[1] {
+                d.owner_host = 1;
+            }
+        }
+        let topo = spec.resolve().unwrap();
+        assert_eq!(topo.device(DeviceId(0)).owner_host, 0);
+        assert_eq!(topo.device(DeviceId(1)).owner_host, 1);
+
+        // An owner index past the host list is rejected, not clamped.
+        let mut bad = TopologySpec::single_device(0, 1 << 10);
+        if let FabricNode::Device(d) = &mut bad.root {
+            d.owner_host = 3;
+        }
+        assert!(matches!(
+            bad.resolve(),
+            Err(TopologyError::BadOwner {
+                owner: 3,
+                hosts: 1,
+                ..
+            })
+        ));
     }
 }

@@ -146,6 +146,18 @@ str_enum! {
 }
 
 str_enum! {
+    /// Why the adaptive daemon (or the watchdog) flipped a region's bias.
+    pub enum FlipCause {
+        /// Feedback controller: the observed access mix crossed a margin.
+        Policy => "policy",
+        /// A DCOH slice conflict-abort forced the flip.
+        Conflict => "conflict",
+        /// Fault-aware degradation pinned the region to host bias.
+        Degrade => "degrade",
+    }
+}
+
+str_enum! {
     /// Offload backend identities (Fig. 8 series).
     pub enum BackendId {
         /// Host CPU inline.
@@ -344,6 +356,16 @@ pub enum TraceEvent {
         region_offset: u64,
         /// The new mode.
         to: BiasKind,
+    },
+    /// The adaptive bias daemon ordered a region transition (one event
+    /// per `BiasTransition`, whatever triggered it).
+    BiasFlip {
+        /// Policy region index (device-local line index >> grain).
+        region: u32,
+        /// The bias the region transitions to.
+        to: BiasKind,
+        /// What triggered the transition.
+        reason: FlipCause,
     },
     /// A memory controller served a read.
     MemRead {
@@ -593,6 +615,12 @@ pub(crate) fn write_json_fields(out: &mut String, event: &TraceEvent) {
                 ",\"kind\":\"bias-switch\",\"region_offset\":{region_offset},\"to\":\"{to}\""
             )
         }
+        TraceEvent::BiasFlip { region, to, reason } => {
+            write!(
+                out,
+                ",\"kind\":\"bias-flip\",\"region\":{region},\"to\":\"{to}\",\"reason\":\"{reason}\""
+            )
+        }
         TraceEvent::MemRead { mem, addr } => {
             write!(
                 out,
@@ -775,6 +803,9 @@ pub(crate) fn write_human_event(out: &mut String, event: &TraceEvent) {
         ),
         TraceEvent::BiasSwitch { region_offset, to } => {
             writeln!(out, "bias -> {to} region={region_offset:#x}")
+        }
+        TraceEvent::BiasFlip { region, to, reason } => {
+            writeln!(out, "bias-flip -> {to} region={region} ({reason})")
         }
         TraceEvent::MemRead { mem, addr } => writeln!(out, "{mem} read addr={addr:#x}"),
         TraceEvent::MemWrite { mem, addr } => writeln!(out, "{mem} write addr={addr:#x}"),
@@ -1028,6 +1059,11 @@ pub(crate) fn parse_event(r: &FieldReader<'_>) -> Result<TraceEvent, String> {
         "bias-switch" => TraceEvent::BiasSwitch {
             region_offset: r.num("region_offset")?,
             to: r.parse_as("to", BiasKind::parse)?,
+        },
+        "bias-flip" => TraceEvent::BiasFlip {
+            region: r.num("region")? as u32,
+            to: r.parse_as("to", BiasKind::parse)?,
+            reason: r.parse_as("reason", FlipCause::parse)?,
         },
         "mem-read" => TraceEvent::MemRead {
             mem: r.parse_as("mem", MemId::parse)?,

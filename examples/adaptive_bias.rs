@@ -1,0 +1,97 @@
+//! The adaptive bias daemon end to end (DESIGN.md §12): a feedback
+//! controller watches who touches each 4 KiB region and flips
+//! host/device bias only when the modeled benefit decisively beats the
+//! modeled cost — then degrades a persistently faulting hot region back
+//! to host bias, where recovery is a cheap hardware replay.
+//!
+//! Run with: `cargo run --example adaptive_bias`
+
+use cxl_t2_sim::cxl_type2::biasmgr::{BiasDaemon, DaemonConfig};
+use cxl_t2_sim::prelude::*;
+use cxl_t2_sim::sim_core::policy::PolicyConfig;
+use cxl_t2_sim::sim_core::time::Duration;
+
+fn main() {
+    let mut host = Socket::xeon_6538y();
+    let mut dev = CxlDevice::agilex7();
+    // Two 4 KiB regions, short epochs so the walkthrough converges
+    // fast. The horizon amortizes a flip's one-time cost over its
+    // expected residency (at ~6 scans per epoch, a myopic controller
+    // could never pay for the transition); the fault thresholds are
+    // sized to this phase's burst rate.
+    let cfg = DaemonConfig {
+        policy: PolicyConfig {
+            min_temperature: 1.0,
+            horizon_epochs: 8.0,
+            fault_enter: 2.0,
+            fault_exit: 0.5,
+            ..PolicyConfig::default()
+        },
+        epoch: Duration::from_micros(1),
+    };
+    let mut daemon = BiasDaemon::new(cfg, 128, Time::ZERO);
+    let scans = device_line(64); // region 1: the accelerator's shard
+    let serves = device_line(0); // region 0: the host's shard
+    let mut t = Time::ZERO;
+
+    // Phase 1 — mixed traffic: the device scans region 1, the host
+    // stores into region 0. The daemon learns the split and gives each
+    // region the bias its traffic wants.
+    for i in 0..256u64 {
+        daemon.note_d2d(scans.offset(i % 64));
+        t = dev
+            .d2d(RequestType::NC_RD, scans.offset(i % 64), t, &mut host)
+            .completion;
+        if i % 3 == 0 {
+            daemon.note_h2d(serves.offset(i % 64), true);
+            t = dev
+                .h2d_store(serves.offset(i % 64), t, &mut host)
+                .completion;
+        }
+        t = daemon.poll(t, &mut dev, &mut host);
+    }
+    println!(
+        "after mixed traffic: scan region device-biased = {}, serve region device-biased = {}",
+        daemon.is_device_biased(scans),
+        daemon.is_device_biased(serves)
+    );
+    println!(
+        "  transitions {} (policy decisions, one unified code path)",
+        daemon.transitions()
+    );
+
+    // Phase 2 — the link turns noisy over the scan region: each fault
+    // under device bias would cost a software recovery, so the fault
+    // EWMA degrades the region back to host bias.
+    for _ in 0..16 {
+        daemon.note_fault(scans);
+        t += Duration::from_nanos(500);
+        t = daemon.poll(t, &mut dev, &mut host);
+    }
+    let region = daemon.region_of(scans);
+    println!(
+        "after fault burst: scan region degraded = {}, device-biased = {}",
+        daemon.policy().is_degraded(region),
+        daemon.is_device_biased(scans)
+    );
+
+    // Phase 3 — the faults quiesce; the EWMA decays below the exit
+    // threshold and the feedback loop re-earns device bias.
+    for i in 0..512u64 {
+        daemon.note_d2d(scans.offset(i % 64));
+        t = dev
+            .d2d(RequestType::NC_RD, scans.offset(i % 64), t, &mut host)
+            .completion;
+        t = daemon.poll(t, &mut dev, &mut host);
+    }
+    println!(
+        "after recovery: scan region degraded = {}, device-biased = {}",
+        daemon.policy().is_degraded(region),
+        daemon.is_device_biased(scans)
+    );
+    let stats = daemon.stats();
+    println!(
+        "flip ledger: {} policy, {} degrade, {} conflict over {} epochs",
+        stats.policy_flips, stats.degrade_flips, stats.conflict_flips, stats.epochs
+    );
+}

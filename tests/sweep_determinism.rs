@@ -4,6 +4,7 @@
 //! wraps. `CXL_SIM_THREADS=1` (or `run_with_threads(1, ..)`) is the
 //! reference serial execution the parallel paths are held against.
 
+use cxl_bench::bias::run_bias_with_threads;
 use cxl_bench::duplex::run_duplex_with_threads;
 use cxl_bench::fault::run_fault_with_threads;
 use cxl_bench::fig4::{run_fig4_with_threads, Fig4Row};
@@ -124,6 +125,48 @@ fn fault_sweep_traces_are_byte_identical_across_thread_counts() {
             );
         }
         assert_eq!(trace1, trace_n, "fault trace diverged at {threads} threads");
+        assert_eq!(dropped1, dropped_n, "drop accounting at {threads} threads");
+    }
+}
+
+/// The adaptive-bias ablation embeds a feedback daemon (epoch state,
+/// EWMA temperatures, re-entry queues) in every sweep point; its
+/// decisions — and therefore every `bias-flip` trace event — must be a
+/// pure function of the point, never of scheduling. Rows and trace are
+/// held byte-identical at 1/2/4/8(/16) threads against the serial run.
+#[test]
+fn bias_ablation_is_byte_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        trace::install(TRACE_CAPACITY);
+        let report = run_bias_with_threads(threads, 400, 42);
+        let (events, dropped) = trace::take_captured();
+        (report, trace::to_jsonl(&events), dropped)
+    };
+    let (report1, trace1, dropped1) = run(1);
+    assert!(
+        trace1.contains("\"kind\":\"bias-flip\""),
+        "the adaptive points must emit bias-flip trace events"
+    );
+    for threads in [2, 4, 8, 16] {
+        let (report_n, trace_n, dropped_n) = run(threads);
+        assert_eq!(report1.crossover.len(), report_n.crossover.len());
+        for (a, b) in report1.crossover.iter().zip(&report_n.crossover) {
+            assert_eq!(bits(a.h2d_fraction), bits(b.h2d_fraction));
+            assert_eq!(a.static_host, b.static_host, "threads={threads}");
+            assert_eq!(a.static_device, b.static_device, "threads={threads}");
+            assert_eq!(a.adaptive, b.adaptive, "threads={threads}");
+        }
+        for (a, b) in report1.duplex.iter().zip(&report_n.duplex) {
+            assert_eq!(a.policy, b.policy, "threads={threads}");
+            assert_eq!(a.out, b.out, "threads={threads}");
+        }
+        for (a, b) in report1.ladder.iter().zip(&report_n.ladder) {
+            assert_eq!(bits(a.ber), bits(b.ber));
+            assert_eq!(a.static_host, b.static_host, "threads={threads}");
+            assert_eq!(a.static_device, b.static_device, "threads={threads}");
+            assert_eq!(a.adaptive, b.adaptive, "threads={threads}");
+        }
+        assert_eq!(trace1, trace_n, "bias trace diverged at {threads} threads");
         assert_eq!(dropped1, dropped_n, "drop accounting at {threads} threads");
     }
 }
